@@ -1,0 +1,225 @@
+package ftroute
+
+// Benchmark harness: one benchmark per experiment (E1..E13, the
+// empirical tables standing in for the theory paper's theorems, figures
+// and remarks — see DESIGN.md §4 and EXPERIMENTS.md), plus
+// micro-benchmarks of the library's hot operations. Regenerate the full
+// tables with:
+//
+//	go run ./cmd/experiments
+//
+// The experiment benchmarks run the Quick configurations so that
+// `go test -bench=.` terminates in reasonable time; cmd/experiments
+// runs the Full configurations.
+
+import (
+	"testing"
+
+	"ftroute/internal/experiments"
+)
+
+// benchExperiment runs one registered experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Run(id, experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tbl.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkE01Kernel2t regenerates E1 (Theorem 3: kernel (2t,t)).
+func BenchmarkE01Kernel2t(b *testing.B) { benchExperiment(b, "E1") }
+
+// BenchmarkE02KernelHalf regenerates E2 (Theorem 4: kernel (4,⌊t/2⌋)).
+func BenchmarkE02KernelHalf(b *testing.B) { benchExperiment(b, "E2") }
+
+// BenchmarkE03Circular regenerates E3 (Theorem 10 / Figure 1).
+func BenchmarkE03Circular(b *testing.B) { benchExperiment(b, "E3") }
+
+// BenchmarkE04TriCircular regenerates E4 (Theorem 13 / Figure 2).
+func BenchmarkE04TriCircular(b *testing.B) { benchExperiment(b, "E4") }
+
+// BenchmarkE05SmallTriCirc regenerates E5 (Remark 14).
+func BenchmarkE05SmallTriCirc(b *testing.B) { benchExperiment(b, "E5") }
+
+// BenchmarkE06Neighborhood regenerates E6 (Lemma 15).
+func BenchmarkE06Neighborhood(b *testing.B) { benchExperiment(b, "E6") }
+
+// BenchmarkE07Thresholds regenerates E7 (Theorem 16 / Corollary 17).
+func BenchmarkE07Thresholds(b *testing.B) { benchExperiment(b, "E7") }
+
+// BenchmarkE08BipolarUni regenerates E8 (Theorem 20 / Figure 3).
+func BenchmarkE08BipolarUni(b *testing.B) { benchExperiment(b, "E8") }
+
+// BenchmarkE09BipolarBi regenerates E9 (Theorem 23).
+func BenchmarkE09BipolarBi(b *testing.B) { benchExperiment(b, "E9") }
+
+// BenchmarkE10TwoTreesGnp regenerates E10 (Lemma 24 / Theorem 25).
+func BenchmarkE10TwoTreesGnp(b *testing.B) { benchExperiment(b, "E10") }
+
+// BenchmarkE11Multirouting regenerates E11 (Section 6, multiroutings).
+func BenchmarkE11Multirouting(b *testing.B) { benchExperiment(b, "E11") }
+
+// BenchmarkE12Augment regenerates E12 (Section 6, network modification).
+func BenchmarkE12Augment(b *testing.B) { benchExperiment(b, "E12") }
+
+// BenchmarkE13Baseline regenerates E13 (shortest-path comparison).
+func BenchmarkE13Baseline(b *testing.B) { benchExperiment(b, "E13") }
+
+// --- Micro-benchmarks of the library's hot paths ---
+
+func BenchmarkVertexConnectivityCCC4(b *testing.B) {
+	g, err := CCC(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := VertexConnectivity(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelConstructionQ5(b *testing.B) {
+	g, err := Hypercube(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Kernel(g, Options{Tolerance: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCircularConstructionC24(b *testing.B) {
+	g, err := Cycle(24)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Circular(g, Options{Tolerance: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTriCircularConstructionC45(b *testing.B) {
+	g, err := Cycle(45)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := TriCircular(g, Options{Tolerance: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBipolarConstructionC16(b *testing.B) {
+	g, err := Cycle(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := BipolarUnidirectional(g, Options{Tolerance: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSurvivingGraphCCC4(b *testing.B) {
+	g, err := CCC(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, _, err := Circular(g, Options{Tolerance: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := FaultsOf(g.N(), 3, 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := r.SurvivingGraph(faults)
+		if d.Arcs() == 0 {
+			b.Fatal("no arcs")
+		}
+	}
+}
+
+func BenchmarkSurvivingDiameterCCC4(b *testing.B) {
+	g, err := CCC(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, _, err := Circular(g, Options{Tolerance: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := r.SurvivingGraph(FaultsOf(g.N(), 3, 40))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := d.Diameter(); !ok {
+			b.Fatal("disconnected")
+		}
+	}
+}
+
+func BenchmarkShortestPathRoutingQ5(b *testing.B) {
+	g, err := Hypercube(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ShortestPathRouting(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNeighborhoodSetRR400(b *testing.B) {
+	g, _, err := RandomRegularConnected(400, 3, 5, 50)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m := NeighborhoodSet(g); len(m) == 0 {
+			b.Fatal("empty set")
+		}
+	}
+}
+
+func BenchmarkTwoTreesDetectionRR200(b *testing.B) {
+	g, _, err := RandomRegularConnected(200, 3, 7, 50)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		HasTwoTrees(g)
+	}
+}
+
+// BenchmarkE14EdgeFaults regenerates E14 (edge-fault extension).
+func BenchmarkE14EdgeFaults(b *testing.B) { benchExperiment(b, "E14") }
+
+// BenchmarkE15NetsimDelivery regenerates E15 (simulated delivery).
+func BenchmarkE15NetsimDelivery(b *testing.B) { benchExperiment(b, "E15") }
+
+// BenchmarkE16Ablation regenerates E16 (construction cost ablation).
+func BenchmarkE16Ablation(b *testing.B) { benchExperiment(b, "E16") }
+
+// BenchmarkE17BeyondTolerance regenerates E17 (Open Problem 3 probe).
+func BenchmarkE17BeyondTolerance(b *testing.B) { benchExperiment(b, "E17") }

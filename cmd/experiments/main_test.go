@@ -1,0 +1,37 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"testing"
+)
+
+// resetFlags clears the global flag state between runs; the experiments
+// command registers flags in run().
+func resetFlags() {
+	flag.CommandLine = flag.NewFlagSet(os.Args[0], flag.ContinueOnError)
+}
+
+func TestRunSingleQuickExperiment(t *testing.T) {
+	resetFlags()
+	os.Args = []string{"experiments", "-exp", "E6", "-quick"}
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMarkdownOutput(t *testing.T) {
+	resetFlags()
+	os.Args = []string{"experiments", "-exp", "E1,E2", "-quick", "-markdown"}
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	resetFlags()
+	os.Args = []string{"experiments", "-exp", "E99", "-quick"}
+	if err := run(); err == nil {
+		t.Fatal("unknown experiment should fail")
+	}
+}

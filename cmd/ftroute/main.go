@@ -1,0 +1,446 @@
+// Command ftroute is a command-line front end to the fault-tolerant
+// routing library.
+//
+// Usage:
+//
+//	ftroute info  -graph <spec>
+//	ftroute plan  -graph <spec>
+//	ftroute route -graph <spec> [-construction auto|kernel|circular|tricircular|bipolar|bipolar-bi]
+//	ftroute tolerate -graph <spec> [-construction ...] [-faults k] [-samples n] [-exhaustive]
+//	ftroute simulate -graph <spec> [-construction ...] [-faults k] [-samples n]
+//	ftroute export   -graph <spec> [-construction ...] -table routing.json
+//	ftroute check    -graph <spec> -table routing.json -bound d [-faults k] [-exhaustive]
+//
+// Graph specs:
+//
+//	cycle:N            cycle on N nodes (connectivity 2)
+//	path:N             path on N nodes
+//	grid:RxC           R-by-C grid (planar)
+//	torus:RxC          R-by-C torus (connectivity 4)
+//	hypercube:D        D-dimensional hypercube
+//	ccc:D              cube-connected cycles
+//	butterfly:D        wrapped butterfly
+//	debruijn:D         binary de Bruijn graph
+//	harary:KxN         Harary graph H(K,N) (connectivity K)
+//	petersen           the Petersen graph
+//	icosahedron        the icosahedron (planar, connectivity 5)
+//	gnp:N:P:SEED       Erdős–Rényi G(N,P)
+//	regular:N:D:SEED   random D-regular graph
+//	file:PATH          edge-list file (see cmd/ftgen)
+//
+// Examples:
+//
+//	ftroute info -graph ccc:4
+//	ftroute tolerate -graph cycle:45 -construction tricircular -exhaustive
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ftroute"
+	"ftroute/internal/graph"
+	"ftroute/internal/netsim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ftroute:", err)
+		os.Exit(1)
+	}
+}
+
+var errUsage = errors.New("usage: ftroute <info|plan|route|tolerate|simulate|export|check> -graph <spec> [flags]")
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return errUsage
+	}
+	cmd := args[0]
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	var (
+		graphSpec    = fs.String("graph", "", "graph specification (see command doc)")
+		construction = fs.String("construction", "auto", "auto|kernel|circular|tricircular|bipolar|bipolar-bi|shortest")
+		faults       = fs.Int("faults", -1, "fault budget (default: tolerance t)")
+		samples      = fs.Int("samples", 200, "random fault sets when not exhaustive")
+		exhaustive   = fs.Bool("exhaustive", false, "enumerate all fault sets (exponential)")
+		table        = fs.String("table", "", "routing-table file for export/check")
+		bound        = fs.Int("bound", -1, "diameter bound to check (default: construction's bound)")
+	)
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	if *graphSpec == "" {
+		return errUsage
+	}
+	g, err := parseGraph(*graphSpec)
+	if err != nil {
+		return err
+	}
+	switch cmd {
+	case "info":
+		return info(g)
+	case "plan":
+		return plan(g)
+	case "route":
+		_, _, err := build(g, *construction)
+		return err
+	case "tolerate":
+		return tolerate(g, *construction, *faults, *samples, *exhaustive)
+	case "simulate":
+		return simulate(g, *construction, *faults, *samples)
+	case "export":
+		return export(g, *construction, *table)
+	case "check":
+		return check(g, *table, *bound, *faults, *samples, *exhaustive)
+	default:
+		return fmt.Errorf("%w: unknown subcommand %q", errUsage, cmd)
+	}
+}
+
+// simulate builds the requested routing, fails `faults` spread-out nodes
+// and runs a message workload of `samples` sends, printing delivery
+// statistics and the route-counter broadcast result.
+func simulate(g *ftroute.Graph, construction string, faults, samples int) error {
+	r, bt, err := build(g, construction)
+	if err != nil {
+		return err
+	}
+	rt, ok := r.(*ftroute.Routing)
+	if !ok {
+		return fmt.Errorf("ftroute: simulate supports single routings, not multiroutings")
+	}
+	if faults < 0 {
+		faults = bt[1]
+	}
+	nw := netsim.New(rt, netsim.Params{HopCost: 1, EndpointCost: 10})
+	stride := g.N() / (faults + 1)
+	if stride == 0 {
+		stride = 1
+	}
+	var failed []int
+	for i := 1; i <= faults && len(failed) < g.N()-2; i++ {
+		v := (i * stride) % g.N()
+		nw.Fail(v)
+		failed = append(failed, v)
+	}
+	fmt.Printf("failed nodes: %v\n", failed)
+	if samples <= 0 {
+		samples = 200
+	}
+	stats, err := nw.RunWorkload(netsim.Workload{Messages: samples, Seed: 1}, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload: %s\n", stats)
+	diam, connected := nw.SurvivingGraph().Diameter()
+	if !connected {
+		fmt.Println("surviving route graph: disconnected")
+		return nil
+	}
+	fmt.Printf("surviving route graph diameter: %d\n", diam)
+	origin := 0
+	for nw.Faults().Has(origin) {
+		origin++
+	}
+	bc, err := nw.Broadcast(origin, diam)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("broadcast from %d with bound %d: reached %d nodes (all=%v), max counter %d\n",
+		origin, diam, len(bc.Reached), bc.AllReached, bc.MaxCounter)
+	return nil
+}
+
+// export builds a routing and writes its JSON table to -table (or
+// stdout), completing the paper's "compute the table once, distribute
+// it" workflow.
+func export(g *ftroute.Graph, construction, table string) error {
+	r, _, err := build(g, construction)
+	if err != nil {
+		return err
+	}
+	rt, ok := r.(*ftroute.Routing)
+	if !ok {
+		return fmt.Errorf("ftroute: export supports single routings, not multiroutings")
+	}
+	w := os.Stdout
+	if table != "" {
+		f, err := os.Create(table)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if _, err := rt.WriteTo(w); err != nil {
+		return err
+	}
+	if table != "" {
+		fmt.Printf("wrote %d routes to %s\n", rt.Len(), table)
+	}
+	return nil
+}
+
+// check loads a previously exported routing table, re-validates it
+// against the graph and verifies a (bound, faults) tolerance claim.
+func check(g *ftroute.Graph, table string, bound, faults, samples int, exhaustive bool) error {
+	if table == "" {
+		return fmt.Errorf("ftroute: check requires -table")
+	}
+	data, err := os.ReadFile(table)
+	if err != nil {
+		return err
+	}
+	rt, err := ftroute.DecodeRoutingTable(g, data)
+	if err != nil {
+		return fmt.Errorf("ftroute: table rejected: %w", err)
+	}
+	k, _, err := ftroute.VertexConnectivity(g)
+	if err != nil {
+		return err
+	}
+	if faults < 0 {
+		faults = k - 1
+	}
+	if bound < 0 {
+		return fmt.Errorf("ftroute: check requires -bound")
+	}
+	cfg := ftroute.EvalConfig{Mode: ftroute.Sampled, Samples: samples, Greedy: true, Seed: 1}
+	mode := "sampled"
+	if exhaustive {
+		cfg = ftroute.EvalConfig{Mode: ftroute.Exhaustive}
+		mode = "exhaustive"
+	}
+	if err := ftroute.CheckTolerance(rt, bound, faults, cfg); err != nil {
+		return err
+	}
+	fmt.Printf("table %s verified (%s): surviving diameter <= %d for |F| <= %d\n", table, mode, bound, faults)
+	return nil
+}
+
+// parseGraph builds a graph from a spec string.
+func parseGraph(spec string) (*ftroute.Graph, error) {
+	parts := strings.Split(spec, ":")
+	atoi := func(s string) int { v, _ := strconv.Atoi(s); return v }
+	dims := func(s string) (int, int, error) {
+		xy := strings.Split(s, "x")
+		if len(xy) != 2 {
+			return 0, 0, fmt.Errorf("ftroute: bad dimensions %q (want RxC)", s)
+		}
+		return atoi(xy[0]), atoi(xy[1]), nil
+	}
+	switch parts[0] {
+	case "file":
+		f, err := os.Open(strings.TrimPrefix(spec, "file:"))
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return graph.ReadEdgeList(f)
+	case "cycle":
+		return ftroute.Cycle(atoi(parts[1]))
+	case "path":
+		return ftroute.PathGraph(atoi(parts[1]))
+	case "grid":
+		r, c, err := dims(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		return ftroute.Grid(r, c)
+	case "torus":
+		r, c, err := dims(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		return ftroute.Torus(r, c)
+	case "hypercube":
+		return ftroute.Hypercube(atoi(parts[1]))
+	case "ccc":
+		return ftroute.CCC(atoi(parts[1]))
+	case "butterfly":
+		return ftroute.WrappedButterfly(atoi(parts[1]))
+	case "debruijn":
+		return ftroute.DeBruijn(atoi(parts[1]))
+	case "harary":
+		k, n, err := dims(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		return ftroute.Harary(k, n)
+	case "petersen":
+		return ftroute.Petersen(), nil
+	case "icosahedron":
+		return ftroute.Icosahedron(), nil
+	case "gnp":
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("ftroute: gnp wants gnp:N:P:SEED")
+		}
+		p, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return nil, err
+		}
+		seed, err := strconv.ParseInt(parts[3], 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		return ftroute.Gnp(atoi(parts[1]), p, seed)
+	case "regular":
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("ftroute: regular wants regular:N:D:SEED")
+		}
+		seed, err := strconv.ParseInt(parts[3], 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		return ftroute.RandomRegular(atoi(parts[1]), atoi(parts[2]), seed)
+	default:
+		return nil, fmt.Errorf("ftroute: unknown graph family %q", parts[0])
+	}
+}
+
+func info(g *ftroute.Graph) error {
+	fmt.Printf("nodes:        %d\n", g.N())
+	fmt.Printf("edges:        %d\n", g.M())
+	fmt.Printf("degree:       min %d, max %d, avg %.2f\n", g.MinDegree(), g.MaxDegree(), g.AverageDegree())
+	if diam, ok := g.Diameter(nil); ok {
+		fmt.Printf("diameter:     %d\n", diam)
+	} else {
+		fmt.Printf("diameter:     disconnected\n")
+	}
+	k, sep, err := ftroute.VertexConnectivity(g)
+	if err != nil {
+		fmt.Printf("connectivity: %d (complete graph)\n", k)
+		return nil
+	}
+	fmt.Printf("connectivity: %d (tolerance t = %d), min separator %v\n", k, k-1, sep)
+	nset := ftroute.NeighborhoodSet(g)
+	fmt.Printf("neighborhood set (Lemma 15): %d nodes\n", len(nset))
+	if tt, err := ftroute.FindTwoTrees(g); err == nil {
+		fmt.Printf("two-trees property: yes, roots (%d, %d)\n", tt.R1, tt.R2)
+	} else {
+		fmt.Printf("two-trees property: no\n")
+	}
+	return nil
+}
+
+func plan(g *ftroute.Graph) error {
+	p, err := ftroute.Auto(g, ftroute.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("construction: %s\n", p.Construction)
+	fmt.Printf("guarantee:    surviving diameter <= %d for up to %d faults\n", p.Bound, p.T)
+	fmt.Printf("direction:    bidirectional=%v\n", p.Bidirected)
+	fmt.Printf("reason:       %s\n", p.Reason)
+	st := p.Routing.Stats()
+	fmt.Printf("routes:       %d ordered pairs, max length %d, avg length %.2f\n", st.Pairs, st.MaxLen, st.AvgLen)
+	return nil
+}
+
+// build constructs the requested routing and prints a summary. It
+// returns the routing and its guaranteed (bound, t).
+func build(g *ftroute.Graph, construction string) (interface {
+	SurvivingGraph(*ftroute.Bitset) *ftroute.Digraph
+	Graph() *ftroute.Graph
+}, [2]int, error) {
+	switch construction {
+	case "auto":
+		p, err := ftroute.Auto(g, ftroute.Options{})
+		if err != nil {
+			return nil, [2]int{}, err
+		}
+		fmt.Printf("auto chose %s: (%d, %d)-tolerant — %s\n", p.Construction, p.Bound, p.T, p.Reason)
+		return p.Routing, [2]int{p.Bound, p.T}, nil
+	case "kernel":
+		r, inf, err := ftroute.Kernel(g, ftroute.Options{})
+		if err != nil {
+			return nil, [2]int{}, err
+		}
+		bound := 2 * inf.T
+		if bound < 4 {
+			bound = 4
+		}
+		fmt.Printf("kernel routing: (%d, %d)-tolerant, separator %v\n", bound, inf.T, inf.Separator)
+		return r, [2]int{bound, inf.T}, nil
+	case "circular":
+		r, inf, err := ftroute.Circular(g, ftroute.Options{})
+		if err != nil {
+			return nil, [2]int{}, err
+		}
+		fmt.Printf("circular routing: (6, %d)-tolerant, K=%d\n", inf.T, inf.K)
+		return r, [2]int{6, inf.T}, nil
+	case "tricircular":
+		r, inf, err := ftroute.TriCircular(g, ftroute.Options{})
+		if err != nil {
+			return nil, [2]int{}, err
+		}
+		fmt.Printf("tri-circular routing: (%d, %d)-tolerant, K=%d\n", inf.Bound, inf.T, inf.K)
+		return r, [2]int{inf.Bound, inf.T}, nil
+	case "bipolar":
+		r, inf, err := ftroute.BipolarUnidirectional(g, ftroute.Options{})
+		if err != nil {
+			return nil, [2]int{}, err
+		}
+		fmt.Printf("unidirectional bipolar routing: (4, %d)-tolerant, roots (%d, %d)\n", inf.T, inf.R1, inf.R2)
+		return r, [2]int{4, inf.T}, nil
+	case "bipolar-bi":
+		r, inf, err := ftroute.BipolarBidirectional(g, ftroute.Options{})
+		if err != nil {
+			return nil, [2]int{}, err
+		}
+		fmt.Printf("bidirectional bipolar routing: (5, %d)-tolerant, roots (%d, %d)\n", inf.T, inf.R1, inf.R2)
+		return r, [2]int{5, inf.T}, nil
+	case "shortest":
+		r, err := ftroute.ShortestPathRouting(g)
+		if err != nil {
+			return nil, [2]int{}, err
+		}
+		k, _, err := ftroute.VertexConnectivity(g)
+		if err != nil {
+			return nil, [2]int{}, err
+		}
+		fmt.Printf("shortest-path routing (baseline): no designed tolerance, t=%d\n", k-1)
+		return r, [2]int{1 << 30, k - 1}, nil
+	default:
+		return nil, [2]int{}, fmt.Errorf("ftroute: unknown construction %q", construction)
+	}
+}
+
+func tolerate(g *ftroute.Graph, construction string, faults, samples int, exhaustive bool) error {
+	r, bt, err := build(g, construction)
+	if err != nil {
+		return err
+	}
+	f := faults
+	if f < 0 {
+		f = bt[1]
+	}
+	cfg := ftroute.EvalConfig{Mode: ftroute.Sampled, Samples: samples, Greedy: true, Seed: 1}
+	if exhaustive {
+		cfg = ftroute.EvalConfig{Mode: ftroute.Exhaustive}
+	}
+	profile := ftroute.DiameterProfile(r, f, cfg)
+	fmt.Printf("worst-case surviving diameter by fault count (bound %d for f <= %d):\n", bt[0], bt[1])
+	for k, d := range profile {
+		status := ""
+		if d < 0 {
+			status = "  DISCONNECTED"
+		} else if k <= bt[1] && d > bt[0] && bt[0] < 1<<29 {
+			status = "  EXCEEDS BOUND"
+		}
+		fmt.Printf("  |F| = %d: %s%s\n", k, diam(d), status)
+	}
+	return nil
+}
+
+func diam(d int) string {
+	if d < 0 {
+		return "inf"
+	}
+	return strconv.Itoa(d)
+}

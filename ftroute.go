@@ -1,0 +1,211 @@
+// Package ftroute is a library of fault-tolerant routings for general
+// networks, reproducing Peleg & Simons, "On Fault Tolerant Routings in
+// General Networks" (PODC 1986; Information and Computation 74, 33–49,
+// 1987).
+//
+// A routing fixes one simple path per ordered node pair. When nodes
+// fail, the surviving route graph R(G,ρ)/F keeps an arc x→y only if the
+// fixed route from x to y avoids every fault; its diameter bounds the
+// number of route traversals (and hence endpoint-processing steps, or
+// broadcast rounds for route-table reconstruction) any message needs.
+// The constructions here guarantee constant surviving diameter for any
+// fault set smaller than the graph's connectivity:
+//
+//	Construction              Needs                                Guarantee
+//	Kernel (Dolev et al.)     any (t+1)-connected graph            (2t, t) and (4, ⌊t/2⌋)
+//	Circular                  neighborhood set of 2t+1             (6, t)
+//	Tri-circular              neighborhood set of 6t+9             (4, t)
+//	Bipolar (unidirectional)  two-trees property                   (4, t)
+//	Bipolar (bidirectional)   two-trees property                   (5, t)
+//	Full multirouting         t+1 routes per pair                  (1, t)
+//	Kernel multirouting       t+1 routes inside concentrator       (3, t)
+//	Clique-augmented kernel   ≤ t(t+1)/2 added links               (3, t)
+//
+// # Quick start
+//
+//	g, _ := ftroute.CCC(4)                       // 3-connected network, t = 2
+//	plan, _ := ftroute.Auto(g, ftroute.Options{})
+//	faults := ftroute.FaultsOf(g.N(), 3, 17)     // two faulty nodes
+//	surviving := plan.Routing.SurvivingGraph(faults)
+//	diam, ok := surviving.Diameter()             // ≤ plan.Bound whenever |F| ≤ plan.T
+//
+// The subpackages are reachable only through this facade; everything a
+// downstream user needs is re-exported here.
+package ftroute
+
+import (
+	"ftroute/internal/connectivity"
+	"ftroute/internal/core"
+	"ftroute/internal/eval"
+	"ftroute/internal/graph"
+	"ftroute/internal/routing"
+)
+
+// Core graph types.
+type (
+	// Graph is a simple undirected graph on nodes 0..N-1.
+	Graph = graph.Graph
+	// Digraph is the directed surviving-route-graph representation.
+	Digraph = graph.Digraph
+	// Bitset is a node set, used for fault sets.
+	Bitset = graph.Bitset
+	// Path is a route: a node sequence from source to destination.
+	Path = routing.Path
+	// Routing assigns at most one simple path to each ordered node pair.
+	Routing = routing.Routing
+	// MultiRouting assigns up to k parallel paths per ordered pair (§6).
+	MultiRouting = routing.MultiRouting
+	// Options tunes the constructions (tolerance, concentrators, ...).
+	Options = core.Options
+	// Plan is the Auto planner's result.
+	Plan = core.Plan
+	// TwoTrees witnesses the two-trees property (Section 5).
+	TwoTrees = core.TwoTrees
+)
+
+// Construction metadata types.
+type (
+	// KernelInfo describes a kernel routing (Section 3).
+	KernelInfo = core.KernelInfo
+	// CircularInfo describes a circular routing (Section 4, Figure 1).
+	CircularInfo = core.CircularInfo
+	// TriCircularInfo describes a tri-circular routing (Section 4, Figure 2).
+	TriCircularInfo = core.TriCircularInfo
+	// BipolarInfo describes a bipolar routing (Section 5, Figure 3).
+	BipolarInfo = core.BipolarInfo
+	// MultiInfo describes a Section 6 multirouting.
+	MultiInfo = core.MultiInfo
+	// AugmentInfo describes a clique-augmented kernel routing (Section 6).
+	AugmentInfo = core.AugmentInfo
+)
+
+// NewGraph returns an empty undirected graph with n nodes.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// NewFaults returns an empty fault set over n nodes.
+func NewFaults(n int) *Bitset { return graph.NewBitset(n) }
+
+// FaultsOf returns a fault set over n nodes containing the given nodes.
+func FaultsOf(n int, faulty ...int) *Bitset { return graph.BitsetOf(n, faulty...) }
+
+// Unreachable is the distance value for unreachable nodes.
+const Unreachable = graph.Unreachable
+
+// Routing constructions (see package doc for the guarantee table).
+var (
+	// Kernel builds the (2t,t)- and (4,⌊t/2⌋)-tolerant kernel routing.
+	Kernel = core.Kernel
+	// Circular builds the (6,t)-tolerant circular routing (Figure 1).
+	Circular = core.Circular
+	// TriCircular builds the (4,t)-tolerant tri-circular routing (Figure 2).
+	TriCircular = core.TriCircular
+	// BipolarUnidirectional builds the (4,t)-tolerant unidirectional
+	// bipolar routing (Figure 3).
+	BipolarUnidirectional = core.BipolarUnidirectional
+	// BipolarBidirectional builds the (5,t)-tolerant bidirectional
+	// bipolar routing.
+	BipolarBidirectional = core.BipolarBidirectional
+	// FullMultirouting builds the (1,t)-tolerant t+1-routes-per-pair
+	// multirouting (Section 6).
+	FullMultirouting = core.FullMultirouting
+	// KernelMultirouting builds the (3,t)-tolerant kernel+concentrator
+	// multirouting (Section 6).
+	KernelMultirouting = core.KernelMultirouting
+	// TwoRouteMultirouting builds the two-routes-per-pair bipolar-style
+	// multirouting (Section 6).
+	TwoRouteMultirouting = core.TwoRouteMultirouting
+	// CliqueAugmentedKernel returns a modified network plus a
+	// (3,t)-tolerant routing on it (Section 6).
+	CliqueAugmentedKernel = core.CliqueAugmentedKernel
+	// Auto picks the strongest applicable construction.
+	Auto = core.Auto
+	// ShortestPathRouting builds the fixed shortest-path baseline.
+	ShortestPathRouting = routing.ShortestPath
+	// NewMultiRouting creates an empty multirouting with a per-pair cap.
+	NewMultiRouting = routing.NewMulti
+	// NewRouting creates an empty unidirectional routing.
+	NewRouting = routing.New
+	// NewBidirectionalRouting creates an empty bidirectional routing.
+	NewBidirectionalRouting = routing.NewBidirectional
+)
+
+// Structural analysis.
+var (
+	// VertexConnectivity returns κ(G) and a minimum separating set.
+	VertexConnectivity = connectivity.VertexConnectivity
+	// IsKConnected tests k-connectivity without computing κ exactly.
+	IsKConnected = connectivity.IsKConnected
+	// DisjointPaths returns k internally node-disjoint s–t paths.
+	DisjointPaths = connectivity.DisjointPaths
+	// DisjointPathsToSet returns the Lemma 2 tree-routing paths.
+	DisjointPathsToSet = connectivity.DisjointPathsToSet
+	// NeighborhoodSet runs the greedy algorithm of Lemma 15.
+	NeighborhoodSet = core.NeighborhoodSet
+	// CheckNeighborhoodSet verifies the neighborhood-set property.
+	CheckNeighborhoodSet = core.CheckNeighborhoodSet
+	// HammingNeighborhoodSet returns a perfect-code concentrator for Q_d.
+	HammingNeighborhoodSet = core.HammingNeighborhoodSet
+	// FindTwoTrees searches for a two-trees witness (Section 5).
+	FindTwoTrees = core.FindTwoTrees
+	// HasTwoTrees reports whether the two-trees property holds.
+	HasTwoTrees = core.HasTwoTrees
+)
+
+// Fault-tolerance evaluation.
+type (
+	// EvalConfig controls fault-set search.
+	EvalConfig = eval.Config
+	// EvalResult reports the worst case found.
+	EvalResult = eval.Result
+)
+
+// Evaluation modes.
+const (
+	// Exhaustive enumerates every fault set up to the budget.
+	Exhaustive = eval.Exhaustive
+	// Sampled draws random fault sets (optionally plus a greedy
+	// adversarial search).
+	Sampled = eval.Sampled
+)
+
+var (
+	// MaxDiameterUnderFaults searches fault sets of size ≤ f for the
+	// worst surviving diameter.
+	MaxDiameterUnderFaults = eval.MaxDiameter
+	// CheckTolerance verifies a (d, f)-tolerance claim.
+	CheckTolerance = eval.CheckTolerance
+	// DiameterProfile reports worst diameters per fault count 0..f.
+	DiameterProfile = eval.Profile
+)
+
+// Forwarding-table compilation and edge-fault handling.
+type (
+	// ForwardingTables hold per-node next-hop entries compiled from a
+	// routing (the form real switches hold).
+	ForwardingTables = routing.ForwardingTables
+	// EdgeFault identifies a failed undirected link.
+	EdgeFault = routing.EdgeFault
+)
+
+var (
+	// CompileForwarding builds per-node next-hop tables from a routing.
+	CompileForwarding = routing.Compile
+	// MapEdgeFaultsToNodes applies the paper's edge-fault reduction.
+	MapEdgeFaultsToNodes = routing.MapEdgeFaultsToNodes
+)
+
+// Beyond-tolerance analysis (the paper's Open Problem 3).
+type (
+	// BeyondResult reports componentwise behavior when |F| can exceed t.
+	BeyondResult = eval.BeyondResult
+)
+
+// BeyondTolerance measures, for every fault set of size exactly f,
+// whether the surviving route graph stays connected (with small
+// diameter) inside each connected component of G−F — the "well behaved"
+// criterion of the paper's Open Problem 3.
+var BeyondTolerance = eval.BeyondTolerance
+
+// DecodeRoutingTable reconstructs a routing from its JSON encoding
+// (Routing.WriteTo / MarshalJSON), re-validating every path against g.
+var DecodeRoutingTable = routing.DecodeRouting

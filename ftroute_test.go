@@ -1,0 +1,107 @@
+package ftroute
+
+import (
+	"testing"
+)
+
+// TestQuickstart exercises the package-doc example end to end.
+func TestQuickstart(t *testing.T) {
+	g, err := CCC(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Auto(g, Options{Tolerance: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := FaultsOf(g.N(), 3, 17)
+	surviving := plan.Routing.SurvivingGraph(faults)
+	diam, ok := surviving.Diameter()
+	if !ok {
+		t.Fatal("surviving graph disconnected under 2 faults")
+	}
+	if diam > plan.Bound {
+		t.Fatalf("diameter %d exceeds planned bound %d", diam, plan.Bound)
+	}
+}
+
+func TestFacadeConnectivity(t *testing.T) {
+	g, err := Hypercube(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, sep, err := VertexConnectivity(g)
+	if err != nil || k != 4 || len(sep) != 4 {
+		t.Fatalf("κ=%d sep=%v err=%v", k, sep, err)
+	}
+	ok, err := IsKConnected(g, 4)
+	if err != nil || !ok {
+		t.Fatal("Q4 should be 4-connected")
+	}
+}
+
+func TestFacadeKernelTolerance(t *testing.T) {
+	g, err := Hypercube(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, info, err := Kernel(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckTolerance(r, 4, info.T, EvalConfig{Mode: Exhaustive}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeProfile(t *testing.T) {
+	g, err := Cycle(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _, err := Circular(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile := DiameterProfile(r, 1, EvalConfig{Mode: Exhaustive})
+	if len(profile) != 2 {
+		t.Fatalf("profile = %v", profile)
+	}
+	if profile[0] > profile[1] {
+		t.Fatalf("diameter should not shrink with faults: %v", profile)
+	}
+	if profile[1] > 6 {
+		t.Fatalf("Theorem 10 violated in profile: %v", profile)
+	}
+}
+
+func TestFacadeShortestPathBaseline(t *testing.T) {
+	g, err := Grid(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := ShortestPathRouting(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := MaxDiameterUnderFaults(sp, 1, EvalConfig{Mode: Exhaustive})
+	if res.Evaluated == 0 {
+		t.Fatal("no fault sets evaluated")
+	}
+}
+
+func TestFacadeGraphConstruction(t *testing.T) {
+	g := NewGraph(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 3)
+	g.MustAddEdge(3, 0)
+	r := NewBidirectionalRouting(g)
+	if err := r.AddEdgeRoutes(); err != nil {
+		t.Fatal(err)
+	}
+	d := r.SurvivingGraph(NewFaults(4))
+	if got, ok := d.Diameter(); !ok || got != 2 {
+		t.Fatalf("C4 edge-routing diameter = (%d,%v)", got, ok)
+	}
+}

@@ -1,0 +1,65 @@
+package ftroute
+
+import "ftroute/internal/gen"
+
+// Graph generators. Each documents the node-connectivity of its output;
+// the paper's constructions take t = connectivity - 1.
+var (
+	// Complete returns K_n (connectivity n-1; no separating set exists).
+	Complete = gen.Complete
+	// PathGraph returns P_n (connectivity 1).
+	PathGraph = gen.Path
+	// Cycle returns C_n (connectivity 2).
+	Cycle = gen.Cycle
+	// Star returns K_{1,n-1} (connectivity 1).
+	Star = gen.Star
+	// Grid returns the r×c grid (connectivity 2; planar).
+	Grid = gen.Grid
+	// Torus returns the r×c torus (connectivity 4 for r,c ≥ 3).
+	Torus = gen.Torus
+	// Hypercube returns Q_d (connectivity d).
+	Hypercube = gen.Hypercube
+	// CCC returns the cube-connected cycles network (connectivity 3),
+	// one of the bounded-degree hypercube realizations named by the paper.
+	CCC = gen.CCC
+	// WrappedButterfly returns the extended butterfly (connectivity 4).
+	WrappedButterfly = gen.WrappedButterfly
+	// DeBruijn returns the binary de Bruijn graph (d-way shuffle family).
+	DeBruijn = gen.DeBruijn
+	// Circulant returns C_n(offsets).
+	Circulant = gen.Circulant
+	// Harary returns H(k,n), the minimum-edge k-connected graph.
+	Harary = gen.Harary
+	// Petersen returns the Petersen graph (3-connected, girth 5).
+	Petersen = gen.Petersen
+	// Octahedron returns K_{2,2,2} (4-connected, planar).
+	Octahedron = gen.Octahedron
+	// Icosahedron returns the icosahedron (5-connected, planar — the
+	// extreme planar case for the kernel bound 2t = 8).
+	Icosahedron = gen.Icosahedron
+	// Wheel returns W_n (connectivity 3).
+	Wheel = gen.Wheel
+	// Gnp returns an Erdős–Rényi random graph (Theorem 25's model).
+	Gnp = gen.Gnp
+	// GnpConnected retries Gnp seeds until connected.
+	GnpConnected = gen.GnpConnected
+	// RandomRegular returns a random d-regular graph.
+	RandomRegular = gen.RandomRegular
+	// RandomRegularConnected retries seeds until connected.
+	RandomRegularConnected = gen.RandomRegularConnected
+)
+
+// Additional deterministic families.
+var (
+	// GeneralizedPetersen returns GP(n,k) (3-regular; girth ≥ 5 for
+	// k ≥ 2 on most n — a deterministic two-trees family).
+	GeneralizedPetersen = gen.GeneralizedPetersen
+	// Prism returns the circular ladder GP(n,1) (3-connected).
+	Prism = gen.Prism
+	// CompleteBipartite returns K_{a,b} (connectivity min(a,b)).
+	CompleteBipartite = gen.CompleteBipartite
+	// BalancedTree returns the complete b-ary tree (connectivity 1).
+	BalancedTree = gen.BalancedTree
+	// Barbell returns two cliques joined by a path (connectivity 1).
+	Barbell = gen.Barbell
+)

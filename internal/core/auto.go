@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+
+	"ftroute/internal/graph"
+	"ftroute/internal/routing"
+)
+
+// Construction identifies one of the paper's routing constructions.
+type Construction string
+
+// The constructions the Auto planner chooses among, ordered by the
+// strength of their diameter guarantee.
+const (
+	ConstructionTriCircular Construction = "tri-circular" // (4, t), Theorem 13
+	ConstructionBipolarUni  Construction = "bipolar-uni"  // (4, t), Theorem 20
+	ConstructionBipolarBi   Construction = "bipolar-bi"   // (5, t), Theorem 23
+	ConstructionCircular    Construction = "circular"     // (6, t), Theorem 10
+	ConstructionKernel      Construction = "kernel"       // (2t, t), Theorem 3
+)
+
+// Plan is the result of the Auto planner.
+type Plan struct {
+	Construction Construction
+	Bound        int  // proven diameter bound of the surviving graph
+	T            int  // tolerated faults
+	Bidirected   bool // whether the routing is bidirectional
+	Reason       string
+	Routing      *routing.Routing
+}
+
+// Auto picks the strongest applicable construction for g, following the
+// paper's hierarchy: tri-circular (needs a neighborhood set of 6t+9)
+// gives (4,t); the unidirectional bipolar (needs the two-trees property)
+// also gives (4,t) but is preferred after tri-circular since it is only
+// unidirectional; the circular (needs 2t+1) gives (6,t); the kernel
+// (always applicable to non-complete graphs) gives (2t, t) and
+// (4, ⌊t/2⌋). Pass Options.Tolerance when connectivity is known.
+func Auto(g *graph.Graph, opts Options) (*Plan, error) {
+	t, err := resolveTolerance(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	opts.Tolerance = t
+
+	nset := NeighborhoodSet(g)
+	if need := 6*t + 9; len(nset) >= need {
+		o := opts
+		o.Concentrator = nset
+		if r, _, err := TriCircular(g, o); err == nil {
+			return &Plan{
+				Construction: ConstructionTriCircular,
+				Bound:        4, T: t, Bidirected: true,
+				Reason:  fmt.Sprintf("neighborhood set of %d >= 6t+9 = %d", len(nset), need),
+				Routing: r,
+			}, nil
+		}
+	}
+	if tt, err := FindTwoTrees(g); err == nil {
+		o := opts
+		if r, _, err := BipolarUnidirectional(g, o); err == nil {
+			return &Plan{
+				Construction: ConstructionBipolarUni,
+				Bound:        4, T: t, Bidirected: false,
+				Reason:  fmt.Sprintf("two-trees property at roots (%d, %d)", tt.R1, tt.R2),
+				Routing: r,
+			}, nil
+		}
+	}
+	if need := circularK(t, false); len(nset) >= need {
+		o := opts
+		o.Concentrator = nset
+		if r, _, err := Circular(g, o); err == nil {
+			return &Plan{
+				Construction: ConstructionCircular,
+				Bound:        6, T: t, Bidirected: true,
+				Reason:  fmt.Sprintf("neighborhood set of %d >= 2t+1 = %d", len(nset), need),
+				Routing: r,
+			}, nil
+		}
+	}
+	r, _, err := Kernel(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{
+		Construction: ConstructionKernel,
+		Bound:        2 * t, T: t, Bidirected: true,
+		Reason:  "fallback: kernel routing applies to every non-complete (t+1)-connected graph",
+		Routing: r,
+	}, nil
+}

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"fmt"
+
+	"ftroute/internal/graph"
+)
+
+// This file machine-checks the intermediate properties the paper's
+// proofs rest on, independently of the end-to-end diameter bounds:
+//
+//	Property CIRC 1 / CIRC 2  (Lemma 7: the circular components imply them;
+//	                           Lemma 6: they imply (6,t)-tolerance)
+//	Property CIRC             (Lemmas 8 and 9, the K=t+1/t+2 variant)
+//	Property T-CIRC           (Lemma 12 implies it; Lemma 11 gives (4,t))
+//	Properties B-POL 1..4     (Lemma 19 implies them; Lemma 18 gives (4,t))
+//	Properties 2B-POL 1..3    (Lemma 22 implies them; Lemma 21 gives (5,t))
+//
+// Each checker takes an already-computed surviving route graph (with
+// faults disabled) and the construction's concentrator, and reports the
+// first violated clause. The test suite runs them across fault sets,
+// which verifies the lemmas themselves — a strictly stronger check than
+// observing the final diameter bound alone.
+
+// enabled reports whether v is a live node of d.
+func enabled(d *graph.Digraph, v int) bool { return !d.Disabled(v) }
+
+// distWithin reports whether d's directed distance u→v is at most k.
+// (Small k only; used by property checkers.)
+func distWithin(d *graph.Digraph, u, v, k int) bool {
+	dist := d.Dist(u, v)
+	return dist != graph.Unreachable && dist <= k
+}
+
+// CheckPropertyCIRC1 verifies Property CIRC 1: for every nonfaulty node
+// x outside the concentrator M there is some nonfaulty y ∈ M with
+// dist(x, y) <= 2 in the surviving graph.
+func CheckPropertyCIRC1(d *graph.Digraph, m []int) error {
+	inM := graph.NewBitset(d.N())
+	for _, v := range m {
+		inM.Add(v)
+	}
+	for x := 0; x < d.N(); x++ {
+		if !enabled(d, x) || inM.Has(x) {
+			continue
+		}
+		found := false
+		dist := d.BFSDistances(x)
+		for _, y := range m {
+			if enabled(d, y) && dist[y] != graph.Unreachable && dist[y] <= 2 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("core: Property CIRC 1 violated at node %d", x)
+		}
+	}
+	return nil
+}
+
+// CheckPropertyCIRC2 verifies Property CIRC 2: every two nonfaulty
+// concentrator members are within distance 2 of each other in the
+// surviving graph.
+func CheckPropertyCIRC2(d *graph.Digraph, m []int) error {
+	for _, x := range m {
+		if !enabled(d, x) {
+			continue
+		}
+		dist := d.BFSDistances(x)
+		for _, y := range m {
+			if y == x || !enabled(d, y) {
+				continue
+			}
+			if dist[y] == graph.Unreachable || dist[y] > 2 {
+				return fmt.Errorf("core: Property CIRC 2 violated between %d and %d", x, y)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckPropertyCIRC verifies the relaxed Property CIRC of Lemma 8: for
+// every two nonfaulty nodes x, y there is a nonfaulty z ∈ M with
+// dist(x,z) <= 3 and dist(z,y) <= 3.
+func CheckPropertyCIRC(d *graph.Digraph, m []int) error {
+	return checkCommonConcentrator(d, m, 3, "CIRC")
+}
+
+// CheckPropertyTCIRC verifies Property T-CIRC of Lemma 11: for every two
+// nonfaulty nodes x, y there is a nonfaulty z ∈ M with dist(x,z) <= 2
+// and dist(z,y) <= 2.
+func CheckPropertyTCIRC(d *graph.Digraph, m []int) error {
+	return checkCommonConcentrator(d, m, 2, "T-CIRC")
+}
+
+// checkCommonConcentrator is the shared shape of CIRC/T-CIRC: every
+// ordered pair of live nodes shares a live concentrator member within
+// radius r of both (distances measured toward and from z respectively).
+func checkCommonConcentrator(d *graph.Digraph, m []int, r int, name string) error {
+	n := d.N()
+	// distTo[zIdx] = BFS distances *from* z (arcs are checked z→y), and
+	// we need x→z distances too; with bidirectional routings the graph
+	// is symmetric, but compute both directions to stay correct for any
+	// digraph.
+	fromZ := make(map[int][]int, len(m))
+	for _, z := range m {
+		if enabled(d, z) {
+			fromZ[z] = d.BFSDistances(z)
+		}
+	}
+	for x := 0; x < n; x++ {
+		if !enabled(d, x) {
+			continue
+		}
+		distX := d.BFSDistances(x)
+		for y := 0; y < n; y++ {
+			if !enabled(d, y) || y == x {
+				continue
+			}
+			ok := false
+			for _, z := range m {
+				dz, live := fromZ[z]
+				if !live {
+					continue
+				}
+				if distX[z] != graph.Unreachable && distX[z] <= r &&
+					dz[y] != graph.Unreachable && dz[y] <= r {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return fmt.Errorf("core: Property %s violated for pair (%d,%d)", name, x, y)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckPropertiesBPOL verifies Properties B-POL 1 through B-POL 4 of the
+// unidirectional bipolar construction (Lemma 19):
+//
+//	B-POL 1: every nonfaulty x ∉ M1 has a nonfaulty y ∈ M1 with an arc x→y;
+//	B-POL 2: every nonfaulty x ∉ M2 has a nonfaulty y ∈ M2 with an arc x→y;
+//	B-POL 3: every nonfaulty x ∉ M1∪M2 has a nonfaulty y ∈ M1∪M2 with an arc y→x;
+//	B-POL 4: nonfaulty pairs within M1 (resp. within M2) are within
+//	         directed distance 2.
+func CheckPropertiesBPOL(d *graph.Digraph, m1, m2 []int) error {
+	n := d.N()
+	inM1, inM2 := graph.NewBitset(n), graph.NewBitset(n)
+	for _, v := range m1 {
+		inM1.Add(v)
+	}
+	for _, v := range m2 {
+		inM2.Add(v)
+	}
+	hasArcToSet := func(x int, set []int) bool {
+		for _, y := range set {
+			if enabled(d, y) && d.HasArc(x, y) {
+				return true
+			}
+		}
+		return false
+	}
+	hasArcFromSet := func(x int, set []int) bool {
+		for _, y := range set {
+			if enabled(d, y) && d.HasArc(y, x) {
+				return true
+			}
+		}
+		return false
+	}
+	for x := 0; x < n; x++ {
+		if !enabled(d, x) {
+			continue
+		}
+		if !inM1.Has(x) && !hasArcToSet(x, m1) {
+			return fmt.Errorf("core: Property B-POL 1 violated at node %d", x)
+		}
+		if !inM2.Has(x) && !hasArcToSet(x, m2) {
+			return fmt.Errorf("core: Property B-POL 2 violated at node %d", x)
+		}
+		if !inM1.Has(x) && !inM2.Has(x) && !hasArcFromSet(x, m1) && !hasArcFromSet(x, m2) {
+			return fmt.Errorf("core: Property B-POL 3 violated at node %d", x)
+		}
+	}
+	for _, set := range [][]int{m1, m2} {
+		for _, x := range set {
+			if !enabled(d, x) {
+				continue
+			}
+			for _, y := range set {
+				if y == x || !enabled(d, y) {
+					continue
+				}
+				if !distWithin(d, x, y, 2) {
+					return fmt.Errorf("core: Property B-POL 4 violated between %d and %d", x, y)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckProperties2BPOL verifies Properties 2B-POL 1 through 2B-POL 3 of
+// the bidirectional bipolar construction (Lemma 22):
+//
+//	2B-POL 1: every nonfaulty x ∉ M1∪M2 has a nonfaulty y ∈ M1∪M2 at
+//	          distance 1 (both directions, the routing being bidirectional);
+//	2B-POL 2: nonfaulty pairs within M1 (resp. M2) are within distance 2;
+//	2B-POL 3: every nonfaulty x ∈ M1 has a nonfaulty y ∈ M2 at distance 1.
+func CheckProperties2BPOL(d *graph.Digraph, m1, m2 []int) error {
+	n := d.N()
+	inM := graph.NewBitset(n)
+	for _, v := range m1 {
+		inM.Add(v)
+	}
+	for _, v := range m2 {
+		inM.Add(v)
+	}
+	adjacentInSet := func(x int, set []int) bool {
+		for _, y := range set {
+			if y != x && enabled(d, y) && d.HasArc(x, y) && d.HasArc(y, x) {
+				return true
+			}
+		}
+		return false
+	}
+	for x := 0; x < n; x++ {
+		if !enabled(d, x) || inM.Has(x) {
+			continue
+		}
+		if !adjacentInSet(x, m1) && !adjacentInSet(x, m2) {
+			return fmt.Errorf("core: Property 2B-POL 1 violated at node %d", x)
+		}
+	}
+	for _, set := range [][]int{m1, m2} {
+		for _, x := range set {
+			if !enabled(d, x) {
+				continue
+			}
+			for _, y := range set {
+				if y == x || !enabled(d, y) {
+					continue
+				}
+				if !distWithin(d, x, y, 2) {
+					return fmt.Errorf("core: Property 2B-POL 2 violated between %d and %d", x, y)
+				}
+			}
+		}
+	}
+	for _, x := range m1 {
+		if !enabled(d, x) {
+			continue
+		}
+		if !adjacentInSet(x, m2) {
+			return fmt.Errorf("core: Property 2B-POL 3 violated at node %d", x)
+		}
+	}
+	return nil
+}

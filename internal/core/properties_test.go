@@ -1,0 +1,211 @@
+package core
+
+import (
+	"testing"
+
+	"ftroute/internal/gen"
+	"ftroute/internal/graph"
+)
+
+// forEachFaultSet enumerates all fault sets of size <= f over n nodes.
+func forEachFaultSet(n, f int, fn func(*graph.Bitset)) {
+	faults := graph.NewBitset(n)
+	fn(faults)
+	var rec func(start, left int)
+	rec = func(start, left int) {
+		if left == 0 {
+			return
+		}
+		for v := start; v < n; v++ {
+			faults.Add(v)
+			fn(faults)
+			rec(v+1, left-1)
+			faults.Remove(v)
+		}
+	}
+	rec(0, f)
+}
+
+// TestLemma7CircularProperties: the circular components satisfy
+// Property CIRC 1 and Property CIRC 2 for every fault set of size <= t.
+func TestLemma7CircularProperties(t *testing.T) {
+	for _, n := range []int{9, 14} {
+		g := mustGen(t)(gen.Cycle(n))
+		r, info, err := Circular(g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		forEachFaultSet(g.N(), info.T, func(f *graph.Bitset) {
+			d := r.SurvivingGraph(f)
+			if err := CheckPropertyCIRC1(d, info.M); err != nil {
+				t.Fatalf("C%d F=%v: %v", n, f, err)
+			}
+			if err := CheckPropertyCIRC2(d, info.M); err != nil {
+				t.Fatalf("C%d F=%v: %v", n, f, err)
+			}
+		})
+	}
+}
+
+// TestLemma9MinimalCircularProperty: the K = t+1 / t+2 circular routing
+// satisfies Property CIRC (common concentrator member within distance 3)
+// for every fault set of size <= t.
+func TestLemma9MinimalCircularProperty(t *testing.T) {
+	g := mustGen(t)(gen.Cycle(12))
+	r, info, err := Circular(g, Options{MinimalK: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forEachFaultSet(g.N(), info.T, func(f *graph.Bitset) {
+		d := r.SurvivingGraph(f)
+		if err := CheckPropertyCIRC(d, info.M); err != nil {
+			t.Fatalf("F=%v: %v", f, err)
+		}
+	})
+}
+
+// TestLemma12TriCircularProperty: the tri-circular components satisfy
+// Property T-CIRC for every fault set of size <= t — exactly the claim
+// of Lemma 12, checked exhaustively on C45.
+func TestLemma12TriCircularProperty(t *testing.T) {
+	g := mustGen(t)(gen.Cycle(45))
+	r, info, err := TriCircular(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forEachFaultSet(g.N(), info.T, func(f *graph.Bitset) {
+		d := r.SurvivingGraph(f)
+		if err := CheckPropertyTCIRC(d, info.M); err != nil {
+			t.Fatalf("F=%v: %v", f, err)
+		}
+	})
+}
+
+// TestLemma19BipolarProperties: the unidirectional bipolar components
+// satisfy Properties B-POL 1..4 for every fault set of size <= t.
+func TestLemma19BipolarProperties(t *testing.T) {
+	for _, n := range []int{10, 14} {
+		g := mustGen(t)(gen.Cycle(n))
+		r, info, err := BipolarUnidirectional(g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		forEachFaultSet(g.N(), info.T, func(f *graph.Bitset) {
+			d := r.SurvivingGraph(f)
+			if err := CheckPropertiesBPOL(d, info.M1, info.M2); err != nil {
+				t.Fatalf("C%d F=%v: %v", n, f, err)
+			}
+		})
+	}
+}
+
+// TestLemma22BidirectionalBipolarProperties: the bidirectional bipolar
+// components satisfy Properties 2B-POL 1..3 for every fault set of size
+// <= t.
+func TestLemma22BidirectionalBipolarProperties(t *testing.T) {
+	for _, n := range []int{10, 15} {
+		g := mustGen(t)(gen.Cycle(n))
+		r, info, err := BipolarBidirectional(g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		forEachFaultSet(g.N(), info.T, func(f *graph.Bitset) {
+			d := r.SurvivingGraph(f)
+			if err := CheckProperties2BPOL(d, info.M1, info.M2); err != nil {
+				t.Fatalf("C%d F=%v: %v", n, f, err)
+			}
+		})
+	}
+}
+
+// TestBipolarPropertiesOnRegular runs the B-POL property checks on a
+// 3-connected random regular instance with t = 2 (sampled fault pairs,
+// all singletons).
+func TestBipolarPropertiesOnRegular(t *testing.T) {
+	g, _, err := gen.RandomRegularConnected(36, 3, 101, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !HasTwoTrees(g) {
+		t.Skip("instance lacks two-trees pair")
+	}
+	r, info, err := BipolarUnidirectional(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forEachFaultSet(g.N(), 1, func(f *graph.Bitset) {
+		d := r.SurvivingGraph(f)
+		if err := CheckPropertiesBPOL(d, info.M1, info.M2); err != nil {
+			t.Fatalf("F=%v: %v", f, err)
+		}
+	})
+}
+
+// TestPropertyCheckersDetectViolations builds deliberately broken
+// surviving graphs and confirms each checker reports them.
+func TestPropertyCheckersDetectViolations(t *testing.T) {
+	// Empty digraph on 4 nodes: no arcs at all.
+	d := graph.NewDigraph(4)
+	m := []int{0, 1}
+	if err := CheckPropertyCIRC1(d, m); err == nil {
+		t.Fatal("CIRC 1 should fail on an arcless graph")
+	}
+	if err := CheckPropertyCIRC2(d, m); err == nil {
+		t.Fatal("CIRC 2 should fail on an arcless graph")
+	}
+	if err := CheckPropertyCIRC(d, m); err == nil {
+		t.Fatal("CIRC should fail on an arcless graph")
+	}
+	if err := CheckPropertyTCIRC(d, m); err == nil {
+		t.Fatal("T-CIRC should fail on an arcless graph")
+	}
+	if err := CheckPropertiesBPOL(d, []int{0}, []int{1}); err == nil {
+		t.Fatal("B-POL should fail on an arcless graph")
+	}
+	if err := CheckProperties2BPOL(d, []int{0}, []int{1}); err == nil {
+		t.Fatal("2B-POL should fail on an arcless graph")
+	}
+}
+
+// TestPropertyCheckersPassOnComplete confirms each checker accepts a
+// complete bidirectional surviving graph (the trivially good case).
+func TestPropertyCheckersPassOnComplete(t *testing.T) {
+	n := 6
+	d := graph.NewDigraph(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v {
+				d.AddArc(u, v)
+			}
+		}
+	}
+	m := []int{0, 1, 2}
+	checks := []func() error{
+		func() error { return CheckPropertyCIRC1(d, m) },
+		func() error { return CheckPropertyCIRC2(d, m) },
+		func() error { return CheckPropertyCIRC(d, m) },
+		func() error { return CheckPropertyTCIRC(d, m) },
+		func() error { return CheckPropertiesBPOL(d, []int{0, 1}, []int{2, 3}) },
+		func() error { return CheckProperties2BPOL(d, []int{0, 1}, []int{2, 3}) },
+	}
+	for i, c := range checks {
+		if err := c(); err != nil {
+			t.Fatalf("check %d failed on complete graph: %v", i, err)
+		}
+	}
+}
+
+// TestPropertyCheckersIgnoreDisabled confirms faulty nodes are exempt
+// from every clause.
+func TestPropertyCheckersIgnoreDisabled(t *testing.T) {
+	d := graph.NewDigraph(3)
+	d.AddArc(0, 1)
+	d.AddArc(1, 0)
+	d.Disable(2) // node 2 has no arcs but is faulty: checkers must skip it
+	if err := CheckPropertyCIRC1(d, []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckProperties2BPOL(d, []int{1}, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+
+	"ftroute/internal/graph"
+)
+
+// TwoTrees holds a pair of roots witnessing the two-trees property of
+// Section 5: the neighbor sets M1 = Γ(r1), M2 = Γ(r2) and the depth-2
+// neighbor sets Γ(x)−{r1} (x ∈ M1), Γ(x)−{r2} (x ∈ M2) are all
+// pairwise disjoint. Equivalently: neither root lies on a cycle of
+// length 3 or 4, and dist(r1, r2) >= 5 (distance exactly 4 would place
+// the midpoint in both depth-2 trees).
+type TwoTrees struct {
+	R1, R2 int
+}
+
+// locallyTreeLike reports whether r lies on no cycle of length 3 or 4:
+// its neighbors are pairwise non-adjacent and share no common neighbor
+// other than r itself.
+func locallyTreeLike(g *graph.Graph, r int) bool {
+	nbrs := g.Neighbors(r)
+	seen := make(map[int]bool)
+	for _, u := range nbrs {
+		for _, v := range nbrs {
+			if u < v && g.HasEdge(u, v) {
+				return false // triangle r-u-v
+			}
+		}
+		ok := true
+		g.EachNeighbor(u, func(w int) bool {
+			if w == r {
+				return true
+			}
+			if seen[w] {
+				ok = false // 4-cycle r-u-w-u' for an earlier neighbor u'
+				return false
+			}
+			seen[w] = true
+			return true
+		})
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// FindTwoTrees searches for a pair of roots witnessing the two-trees
+// property, trying candidates in ascending node order (deterministic).
+// It returns ErrNotApplicable if no pair exists.
+func FindTwoTrees(g *graph.Graph) (*TwoTrees, error) {
+	n := g.N()
+	var candidates []int
+	for r := 0; r < n; r++ {
+		if locallyTreeLike(g, r) {
+			candidates = append(candidates, r)
+		}
+	}
+	for _, r1 := range candidates {
+		dist := g.BFSDistances(r1, nil)
+		for _, r2 := range candidates {
+			if r2 <= r1 {
+				continue
+			}
+			if dist[r2] >= 5 || dist[r2] == graph.Unreachable {
+				if dist[r2] == graph.Unreachable {
+					continue // different components never help a routing
+				}
+				return &TwoTrees{R1: r1, R2: r2}, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("%w: no two-trees pair", ErrNotApplicable)
+}
+
+// HasTwoTrees reports whether the two-trees property holds.
+func HasTwoTrees(g *graph.Graph) bool {
+	_, err := FindTwoTrees(g)
+	return err == nil
+}
+
+// CheckTwoTrees verifies that (r1, r2) witnesses the two-trees property,
+// by checking the disjointness conditions directly from the definition.
+func CheckTwoTrees(g *graph.Graph, r1, r2 int) error {
+	if !locallyTreeLike(g, r1) {
+		return fmt.Errorf("%w: node %d lies on a 3- or 4-cycle", ErrNotApplicable, r1)
+	}
+	if !locallyTreeLike(g, r2) {
+		return fmt.Errorf("%w: node %d lies on a 3- or 4-cycle", ErrNotApplicable, r2)
+	}
+	d := g.Dist(r1, r2)
+	if d != graph.Unreachable && d < 5 {
+		return fmt.Errorf("%w: dist(%d,%d) = %d < 5", ErrNotApplicable, r1, r2, d)
+	}
+	if d == graph.Unreachable {
+		return fmt.Errorf("%w: roots %d and %d are disconnected", ErrNotApplicable, r1, r2)
+	}
+	return nil
+}

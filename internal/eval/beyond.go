@@ -1,0 +1,116 @@
+package eval
+
+import (
+	"ftroute/internal/graph"
+)
+
+// This file addresses the paper's Open Problem 3 empirically: "Suppose
+// that there are more than t faults ... Are there routings that are
+// 'well behaved' so long as the network is not disconnected and that
+// continue to keep the diameter of the surviving graph small in the
+// connected components if the network is disconnected?"
+//
+// Because every route is a path of G avoiding F, surviving-route-graph
+// arcs never cross connected components of G−F; the meaningful metric
+// beyond tolerance is therefore *componentwise*: within each component
+// of G−F, how far apart can two nodes be in the surviving route graph,
+// and do components ever shatter (route-graph disconnection inside a
+// graph-connected component)?
+
+// BeyondResult summarizes behavior at a fault count beyond (or at) the
+// designed tolerance.
+type BeyondResult struct {
+	Evaluated      int // fault sets examined
+	GraphConnected int // fault sets leaving G−F connected
+	// Shattered counts fault sets where some component of G−F contains
+	// a pair with no surviving route path — the "badly behaved" case of
+	// Open Problem 3.
+	Shattered int
+	// WorstComponentDiameter is the maximum, over fault sets and over
+	// components of G−F, of the surviving route graph's diameter within
+	// the component (ignoring shattered components).
+	WorstComponentDiameter int
+	// WorstFaults witnesses either the first shattering or the worst
+	// componentwise diameter.
+	WorstFaults *graph.Bitset
+}
+
+// componentwise measures one fault set; returns (worst component
+// diameter, shattered).
+func componentwise(s Survivor, faults *graph.Bitset) (int, bool) {
+	g := s.Graph()
+	d := s.SurvivingGraph(faults)
+	comps := g.ConnectedComponents(faults)
+	worst := 0
+	shattered := false
+	for _, comp := range comps {
+		if len(comp) < 2 {
+			continue
+		}
+		inComp := graph.NewBitset(g.N())
+		for _, v := range comp {
+			inComp.Add(v)
+		}
+		for _, u := range comp {
+			dist := d.BFSDistances(u)
+			for _, v := range comp {
+				if v == u {
+					continue
+				}
+				if dist[v] == graph.Unreachable {
+					shattered = true
+					continue
+				}
+				if dist[v] > worst {
+					worst = dist[v]
+				}
+			}
+		}
+	}
+	return worst, shattered
+}
+
+// BeyondTolerance evaluates every fault set of size exactly f
+// (exhaustive; intended for small instances) and reports componentwise
+// behavior per Open Problem 3.
+func BeyondTolerance(s Survivor, f int) BeyondResult {
+	g := s.Graph()
+	n := g.N()
+	res := BeyondResult{WorstFaults: graph.NewBitset(n)}
+	faults := graph.NewBitset(n)
+	firstShatter := true
+	var rec func(start, left int)
+	rec = func(start, left int) {
+		if left == 0 {
+			res.Evaluated++
+			if g.IsConnected(faults) {
+				res.GraphConnected++
+			}
+			worst, shattered := componentwise(s, faults)
+			if shattered {
+				res.Shattered++
+				if firstShatter {
+					res.WorstFaults = faults.Clone()
+					firstShatter = false
+				}
+			}
+			if worst > res.WorstComponentDiameter {
+				res.WorstComponentDiameter = worst
+				if firstShatter {
+					res.WorstFaults = faults.Clone()
+				}
+			}
+			return
+		}
+		if n-start < left {
+			return
+		}
+		for v := start; v < n; v++ {
+			faults.Add(v)
+			rec(v+1, left-1)
+			faults.Remove(v)
+		}
+	}
+	rec(0, f)
+	return res
+}

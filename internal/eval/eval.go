@@ -1,0 +1,244 @@
+// Package eval measures the fault tolerance of routings: it searches
+// over fault sets F (exhaustively, by random sampling, or by greedy
+// adversarial growth), computes the diameter of each surviving route
+// graph R(G,ρ)/F, and checks the (d, f)-tolerance claims of the paper's
+// theorems.
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ftroute/internal/graph"
+)
+
+// Survivor is the routing-side interface eval needs: anything that can
+// produce a surviving route graph for a fault set. Both *routing.Routing
+// and *routing.MultiRouting implement it.
+type Survivor interface {
+	SurvivingGraph(faults *graph.Bitset) *graph.Digraph
+	Graph() *graph.Graph
+}
+
+// Mode selects how fault sets are searched.
+type Mode int
+
+const (
+	// Exhaustive enumerates every fault set of size 0..f. Exact but
+	// exponential; use for small graphs.
+	Exhaustive Mode = iota
+	// Sampled draws uniform random fault sets of size f (plus the empty
+	// set), and is complemented by a greedy adversarial search.
+	Sampled
+)
+
+// Config controls a tolerance measurement.
+type Config struct {
+	Mode    Mode
+	Samples int   // number of random fault sets in Sampled mode (default 200)
+	Seed    int64 // randomness for Sampled mode
+	// Greedy enables, in Sampled mode, an additional greedy adversarial
+	// search that grows a fault set one node at a time, always picking
+	// the node that maximizes the surviving diameter.
+	Greedy bool
+}
+
+// Result reports the worst case found.
+type Result struct {
+	MaxDiameter  int           // largest surviving diameter observed
+	Disconnected bool          // some fault set disconnected the surviving graph
+	WorstFaults  *graph.Bitset // a fault set achieving the reported worst case
+	Evaluated    int           // number of fault sets evaluated
+}
+
+// String renders a result compactly.
+func (r Result) String() string {
+	if r.Disconnected {
+		return fmt.Sprintf("disconnected (worst F=%v, %d sets)", r.WorstFaults, r.Evaluated)
+	}
+	return fmt.Sprintf("max diameter %d (worst F=%v, %d sets)", r.MaxDiameter, r.WorstFaults, r.Evaluated)
+}
+
+// MaxDiameter searches fault sets of size at most f and returns the
+// worst surviving diameter found. Disconnection (some ordered pair with
+// no surviving path) dominates any finite diameter.
+func MaxDiameter(s Survivor, f int, cfg Config) Result {
+	switch cfg.Mode {
+	case Exhaustive:
+		return exhaustive(s, f)
+	default:
+		return sampled(s, f, cfg)
+	}
+}
+
+// evalOne evaluates one fault set, folding it into the result.
+func evalOne(s Survivor, faults *graph.Bitset, res *Result) {
+	res.Evaluated++
+	d := s.SurvivingGraph(faults)
+	if d.EnabledCount() <= 1 {
+		return // nothing to route between
+	}
+	diam, ok := d.Diameter()
+	if !ok {
+		if !res.Disconnected {
+			res.Disconnected = true
+			res.WorstFaults = faults.Clone()
+		}
+		return
+	}
+	if !res.Disconnected && diam > res.MaxDiameter {
+		res.MaxDiameter = diam
+		res.WorstFaults = faults.Clone()
+	}
+}
+
+// exhaustive enumerates all fault sets of size 0..f.
+func exhaustive(s Survivor, f int) Result {
+	n := s.Graph().N()
+	res := Result{WorstFaults: graph.NewBitset(n)}
+	faults := graph.NewBitset(n)
+	evalOne(s, faults, &res) // empty set
+	var rec func(start, left int)
+	rec = func(start, left int) {
+		if left == 0 {
+			return
+		}
+		for v := start; v < n; v++ {
+			faults.Add(v)
+			evalOne(s, faults, &res)
+			rec(v+1, left-1)
+			faults.Remove(v)
+		}
+	}
+	rec(0, f)
+	return res
+}
+
+// sampled draws random fault sets of size exactly f and optionally runs
+// a greedy adversarial search.
+func sampled(s Survivor, f int, cfg Config) Result {
+	n := s.Graph().N()
+	samples := cfg.Samples
+	if samples <= 0 {
+		samples = 200
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := Result{WorstFaults: graph.NewBitset(n)}
+	evalOne(s, graph.NewBitset(n), &res)
+	for i := 0; i < samples; i++ {
+		faults := graph.NewBitset(n)
+		for faults.Count() < f {
+			faults.Add(rng.Intn(n))
+		}
+		evalOne(s, faults, &res)
+	}
+	if cfg.Greedy {
+		greedyAdversary(s, f, &res)
+	}
+	return res
+}
+
+// greedyAdversary grows a fault set one node at a time, at each step
+// keeping the node whose addition maximizes the surviving diameter
+// (preferring disconnection outright).
+func greedyAdversary(s Survivor, f int, res *Result) {
+	n := s.Graph().N()
+	faults := graph.NewBitset(n)
+	for round := 0; round < f; round++ {
+		bestV, bestDiam, bestDisc := -1, -1, false
+		for v := 0; v < n; v++ {
+			if faults.Has(v) {
+				continue
+			}
+			faults.Add(v)
+			res.Evaluated++
+			d := s.SurvivingGraph(faults)
+			if d.EnabledCount() > 1 {
+				diam, ok := d.Diameter()
+				disc := !ok
+				if disc && !bestDisc {
+					bestV, bestDiam, bestDisc = v, diam, true
+				} else if !disc && !bestDisc && diam > bestDiam {
+					bestV, bestDiam = v, diam
+				}
+			}
+			faults.Remove(v)
+		}
+		if bestV == -1 {
+			break
+		}
+		faults.Add(bestV)
+		if bestDisc {
+			if !res.Disconnected {
+				res.Disconnected = true
+				res.WorstFaults = faults.Clone()
+			}
+			return
+		}
+		if !res.Disconnected && bestDiam > res.MaxDiameter {
+			res.MaxDiameter = bestDiam
+			res.WorstFaults = faults.Clone()
+		}
+	}
+}
+
+// CheckTolerance verifies a (d, f)-tolerance claim: it returns nil when
+// every evaluated fault set of size at most f leaves the surviving graph
+// with diameter at most d. In Exhaustive mode this is a proof over the
+// instance; in Sampled mode it is a statistical check.
+func CheckTolerance(s Survivor, d, f int, cfg Config) error {
+	res := MaxDiameter(s, f, cfg)
+	if res.Disconnected {
+		return fmt.Errorf("eval: fault set %v disconnects the surviving graph (claimed (%d,%d)-tolerant)", res.WorstFaults, d, f)
+	}
+	if res.MaxDiameter > d {
+		return fmt.Errorf("eval: fault set %v gives diameter %d (claimed (%d,%d)-tolerant)", res.WorstFaults, res.MaxDiameter, d, f)
+	}
+	return nil
+}
+
+// Profile reports, for each fault count 0..f, the worst surviving
+// diameter found (-1 encodes disconnection). It shares cfg semantics
+// with MaxDiameter but evaluates each size separately, which is the
+// shape of the per-fault-count tables in EXPERIMENTS.md.
+func Profile(s Survivor, f int, cfg Config) []int {
+	out := make([]int, f+1)
+	for k := 0; k <= f; k++ {
+		var res Result
+		if cfg.Mode == Exhaustive {
+			res = exhaustiveExact(s, k)
+		} else {
+			res = sampled(s, k, cfg)
+		}
+		if res.Disconnected {
+			out[k] = -1
+		} else {
+			out[k] = res.MaxDiameter
+		}
+	}
+	return out
+}
+
+// exhaustiveExact enumerates fault sets of size exactly k.
+func exhaustiveExact(s Survivor, k int) Result {
+	n := s.Graph().N()
+	res := Result{WorstFaults: graph.NewBitset(n)}
+	faults := graph.NewBitset(n)
+	var rec func(start, left int)
+	rec = func(start, left int) {
+		if left == 0 {
+			evalOne(s, faults, &res)
+			return
+		}
+		if n-start < left {
+			return
+		}
+		for v := start; v < n; v++ {
+			faults.Add(v)
+			rec(v+1, left-1)
+			faults.Remove(v)
+		}
+	}
+	rec(0, k)
+	return res
+}

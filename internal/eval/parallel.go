@@ -1,0 +1,101 @@
+package eval
+
+import (
+	"runtime"
+	"sync"
+
+	"ftroute/internal/graph"
+)
+
+// MaxDiameterParallel is MaxDiameter with the fault-set search fanned
+// out over worker goroutines. Results are identical to the sequential
+// search (the worst case over a fixed enumeration is order-independent;
+// ties may report a different witness fault set). It is worthwhile for
+// exhaustive searches over medium graphs, where each fault set costs a
+// full surviving-graph + diameter computation.
+func MaxDiameterParallel(s Survivor, f int, cfg Config, workers int) Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || cfg.Mode != Exhaustive {
+		return MaxDiameter(s, f, cfg)
+	}
+	n := s.Graph().N()
+	// Partition the enumeration by first element: worker w handles all
+	// fault sets whose smallest member v satisfies v % workers == w,
+	// plus (worker 0) the empty set.
+	results := make([]Result, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			res := Result{WorstFaults: graph.NewBitset(n)}
+			faults := graph.NewBitset(n)
+			if w == 0 {
+				evalOne(s, faults, &res)
+			}
+			var rec func(start, left int)
+			rec = func(start, left int) {
+				if left == 0 {
+					return
+				}
+				for v := start; v < n; v++ {
+					faults.Add(v)
+					evalOne(s, faults, &res)
+					rec(v+1, left-1)
+					faults.Remove(v)
+				}
+			}
+			for first := w; first < n; first += workers {
+				faults.Add(first)
+				evalOne(s, faults, &res)
+				rec(first+1, f-1)
+				faults.Remove(first)
+			}
+			results[w] = res
+		}(w)
+	}
+	wg.Wait()
+	merged := Result{WorstFaults: graph.NewBitset(n)}
+	for _, r := range results {
+		merged.Evaluated += r.Evaluated
+		if r.Disconnected && !merged.Disconnected {
+			merged.Disconnected = true
+			merged.WorstFaults = r.WorstFaults
+		}
+		if !merged.Disconnected && !r.Disconnected && r.MaxDiameter > merged.MaxDiameter {
+			merged.MaxDiameter = r.MaxDiameter
+			merged.WorstFaults = r.WorstFaults
+		}
+	}
+	return merged
+}
+
+// ConcentratorAdversary evaluates fault sets drawn from a designated
+// node set (typically a routing's concentrator M or its neighborhoods):
+// the structurally critical nodes. It enumerates every subset of the
+// target set of size at most f — usually far cheaper than full
+// enumeration — and folds in the all-targets prefix sets. This is the
+// adversary the paper's proofs defend against: faults concentrated on
+// the concentrator.
+func ConcentratorAdversary(s Survivor, f int, targets []int) Result {
+	n := s.Graph().N()
+	res := Result{WorstFaults: graph.NewBitset(n)}
+	faults := graph.NewBitset(n)
+	evalOne(s, faults, &res)
+	var rec func(start, left int)
+	rec = func(start, left int) {
+		if left == 0 {
+			return
+		}
+		for i := start; i < len(targets); i++ {
+			faults.Add(targets[i])
+			evalOne(s, faults, &res)
+			rec(i+1, left-1)
+			faults.Remove(targets[i])
+		}
+	}
+	rec(0, f)
+	return res
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ftroute/internal/core"
+	"ftroute/internal/eval"
+	"ftroute/internal/gen"
+	"ftroute/internal/graph"
+	"ftroute/internal/routing"
+)
+
+func init() {
+	register("E17", runE17)
+}
+
+// runE17 probes the paper's Open Problem 3 empirically: beyond the
+// designed tolerance t, do the constructions stay "well behaved" —
+// i.e., within each connected component of G−F, does the surviving
+// route graph stay connected with small diameter? For each fault count
+// t+1, t+2 the experiment enumerates every fault set and reports how
+// often components shatter (route-graph disconnection inside a
+// graph-connected component) and the worst componentwise diameter.
+func runE17(scale Scale) (*Table, error) {
+	t := &Table{
+		ID:         "E17",
+		Title:      "Extension (Open Problem 3): behavior beyond the designed tolerance",
+		PaperClaim: "§7(3) asks whether routings remain well behaved when |F| > t; no answer is proven in the paper — these are empirical observations",
+		Header:     []string{"graph", "construction", "t", "F", "fault sets", "G−F connected", "shattered", "worst comp diam"},
+	}
+	type item struct {
+		name  string
+		cname string
+		r     *routing.Routing
+		tol   int
+	}
+	var items []item
+	add := func(name, cname string, g *graph.Graph, build func(*graph.Graph) (*routing.Routing, int, error)) error {
+		r, tol, err := build(g)
+		if err != nil {
+			return fmt.Errorf("E17 %s: %w", name, err)
+		}
+		items = append(items, item{name, cname, r, tol})
+		return nil
+	}
+	kernel := func(g *graph.Graph) (*routing.Routing, int, error) {
+		r, info, err := core.Kernel(g, core.Options{})
+		if err != nil {
+			return nil, 0, err
+		}
+		return r, info.T, nil
+	}
+	circular := func(g *graph.Graph) (*routing.Routing, int, error) {
+		r, info, err := core.Circular(g, core.Options{})
+		if err != nil {
+			return nil, 0, err
+		}
+		return r, info.T, nil
+	}
+	if err := add("cycle C12", "circular", must(gen.Cycle(12)), circular); err != nil {
+		return nil, err
+	}
+	if err := add("hypercube Q3", "kernel", must(gen.Hypercube(3)), kernel); err != nil {
+		return nil, err
+	}
+	if scale == Full {
+		if err := add("cycle C16", "circular", must(gen.Cycle(16)), circular); err != nil {
+			return nil, err
+		}
+		if err := add("CCC(3)", "kernel", must(gen.CCC(3)), kernel); err != nil {
+			return nil, err
+		}
+		if err := add("Petersen", "kernel", gen.Petersen(), kernel); err != nil {
+			return nil, err
+		}
+	}
+	for _, it := range items {
+		for extra := 1; extra <= 2; extra++ {
+			f := it.tol + extra
+			res := eval.BeyondTolerance(it.r, f)
+			t.AddRow(it.name, it.cname, it.tol, f, res.Evaluated, res.GraphConnected,
+				res.Shattered, res.WorstComponentDiameter)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"shattered = fault sets leaving some pair graph-connected in G−F but with no surviving route path between them",
+		"worst comp diam = worst surviving diameter measured inside components of G−F (shattered pairs excluded)",
+		"a 'well behaved' routing in the sense of §7(3) would show shattered = 0 and small componentwise diameters")
+	return t, nil
+}

@@ -1,0 +1,172 @@
+// Package experiments regenerates, for every theorem, figure and remark
+// of the paper, an empirical table comparing the proven bound with the
+// worst observed surviving-graph diameter under fault injection. The
+// paper (a theory paper) has no measured tables of its own; these
+// experiments are the reproduction's evidence that each construction
+// delivers its claimed (d, f)-tolerance on the network families the
+// paper names.
+//
+// Experiments are identified E1..E13; see DESIGN.md §4 for the index.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Scale selects experiment sizes.
+type Scale int
+
+const (
+	// Quick runs reduced configurations (used by unit tests).
+	Quick Scale = iota
+	// Full runs the configurations recorded in EXPERIMENTS.md.
+	Full
+)
+
+// Table is one experiment's output.
+type Table struct {
+	ID         string
+	Title      string
+	PaperClaim string
+	Header     []string
+	Rows       [][]string
+	Notes      []string
+}
+
+// AddRow appends a row of cells (stringifying each).
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders an aligned ASCII table with title and notes.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "paper: %s\n", t.PaperClaim)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as GitHub-flavored markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "*Paper claim:* %s\n\n", t.PaperClaim)
+	b.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Header)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n*Note:* %s\n", n)
+	}
+	return b.String()
+}
+
+// Runner produces an experiment's tables at a given scale.
+type Runner func(Scale) (*Table, error)
+
+// registry maps experiment ids to runners; populated by init functions
+// in the per-experiment files.
+var registry = map[string]Runner{}
+
+// register adds a runner; duplicate ids are a programming error.
+func register(id string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = r
+}
+
+// IDs returns all experiment ids in order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		// E1 < E2 < ... < E10 < ...: numeric compare of the suffix.
+		return idNum(ids[i]) < idNum(ids[j])
+	})
+	return ids
+}
+
+func idNum(id string) int {
+	n := 0
+	for _, r := range id {
+		if r >= '0' && r <= '9' {
+			n = n*10 + int(r-'0')
+		}
+	}
+	return n
+}
+
+// Run executes one experiment by id.
+func Run(id string, scale Scale) (*Table, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+	}
+	return r(scale)
+}
+
+// diamStr renders a measured diameter, with ∞ for disconnection.
+func diamStr(d int) string {
+	if d < 0 {
+		return "inf"
+	}
+	return fmt.Sprint(d)
+}
+
+// okStr renders a pass/fail comparison of measured against bound.
+func okStr(measured, bound int) string {
+	if measured >= 0 && measured <= bound {
+		return "ok"
+	}
+	return "VIOLATED"
+}

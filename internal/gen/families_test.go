@@ -1,0 +1,128 @@
+package gen
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestGeneralizedPetersenIsPetersen(t *testing.T) {
+	gp, err := GeneralizedPetersen(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Petersen()
+	// Same order, size, regularity, girth and diameter — GP(5,2) is
+	// isomorphic to the Petersen graph (node labels differ).
+	if gp.N() != p.N() || gp.M() != p.M() {
+		t.Fatalf("gp = %v", gp)
+	}
+	checkRegular(t, gp, 3)
+	gg, _ := gp.Girth()
+	pg, _ := p.Girth()
+	if gg != pg {
+		t.Fatalf("girth %d != %d", gg, pg)
+	}
+}
+
+func TestGeneralizedPetersenLarge(t *testing.T) {
+	g, err := GeneralizedPetersen(12, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 24 {
+		t.Fatalf("n = %d", g.N())
+	}
+	checkRegular(t, g, 3)
+	if !g.IsConnected(nil) {
+		t.Fatal("disconnected")
+	}
+}
+
+func TestGeneralizedPetersenBadParams(t *testing.T) {
+	for _, tc := range [][2]int{{2, 1}, {6, 0}, {6, 3}, {8, 4}} {
+		if _, err := GeneralizedPetersen(tc[0], tc[1]); !errors.Is(err, ErrBadParam) {
+			t.Fatalf("GP(%d,%d) should fail", tc[0], tc[1])
+		}
+	}
+}
+
+func TestPrism(t *testing.T) {
+	g, err := Prism(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 12 || g.M() != 18 {
+		t.Fatalf("prism = %v", g)
+	}
+	checkRegular(t, g, 3)
+	girth, ok := g.Girth()
+	if !ok || girth != 4 {
+		t.Fatalf("prism girth = (%d,%v), want 4", girth, ok)
+	}
+}
+
+func TestCompleteBipartite(t *testing.T) {
+	g, err := CompleteBipartite(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 5 || g.M() != 6 {
+		t.Fatalf("K23 = %v", g)
+	}
+	if g.HasEdge(0, 1) || g.HasEdge(2, 3) {
+		t.Fatal("within-part edges must not exist")
+	}
+	if !g.HasEdge(0, 2) {
+		t.Fatal("cross-part edge missing")
+	}
+	if _, err := CompleteBipartite(0, 3); !errors.Is(err, ErrBadParam) {
+		t.Fatal("bad params should fail")
+	}
+}
+
+func TestBalancedTree(t *testing.T) {
+	g, err := BalancedTree(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 15 || g.M() != 14 {
+		t.Fatalf("tree = %v", g)
+	}
+	if _, ok := g.Girth(); ok {
+		t.Fatal("trees are acyclic")
+	}
+	if !g.IsConnected(nil) {
+		t.Fatal("tree must be connected")
+	}
+	// Unary tree degenerates to a path.
+	p, err := BalancedTree(1, 4)
+	if err != nil || p.N() != 5 || p.M() != 4 {
+		t.Fatalf("unary tree = %v err=%v", p, err)
+	}
+}
+
+func TestBarbell(t *testing.T) {
+	g, err := Barbell(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 11 {
+		t.Fatalf("n = %d", g.N())
+	}
+	// Two K4s (6 edges each) + path of 3 nodes contributing 4 edges.
+	if g.M() != 6+6+4 {
+		t.Fatalf("m = %d", g.M())
+	}
+	if !g.IsConnected(nil) {
+		t.Fatal("barbell must be connected")
+	}
+	// Path nodes are bridges territory: articulation points exist.
+	if len(g.ArticulationPoints()) == 0 {
+		t.Fatal("barbell should have cut vertices")
+	}
+	// Zero-length bridge still connects the cliques.
+	g0, err := Barbell(3, 0)
+	if err != nil || !g0.IsConnected(nil) {
+		t.Fatalf("Barbell(3,0) = %v err=%v", g0, err)
+	}
+}

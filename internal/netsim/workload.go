@@ -1,0 +1,110 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Workload generates message send requests for the simulator.
+type Workload struct {
+	// Messages is the number of sends to issue.
+	Messages int
+	// Seed drives the deterministic source/destination choice.
+	Seed int64
+	// HotspotFraction, in [0,1), biases destinations: that fraction of
+	// messages targets node Hotspot (a server/sink pattern); the rest
+	// are uniform random pairs.
+	HotspotFraction float64
+	Hotspot         int
+}
+
+// FaultEvent is a scheduled change in a node's health.
+type FaultEvent struct {
+	AfterMessage int // apply before issuing this message index (0-based)
+	Node         int
+	Repair       bool // false = fail, true = repair
+}
+
+// Stats summarizes a workload run.
+type Stats struct {
+	Delivered    int
+	Unreachable  int // sends with no surviving route sequence
+	SkippedFault int // sends whose endpoint was faulty
+	TotalRoutes  int // total route traversals across deliveries
+	MaxRoutes    int // worst route traversals in one delivery
+	TotalHops    int
+	// Latency quantiles over delivered messages (simulation time units
+	// per message, not cumulative clock).
+	P50, P99, Max int
+}
+
+// String renders the stats compactly.
+func (s Stats) String() string {
+	return fmt.Sprintf("delivered=%d unreachable=%d skipped=%d routes(total=%d,max=%d) hops=%d latency(p50=%d,p99=%d,max=%d)",
+		s.Delivered, s.Unreachable, s.SkippedFault, s.TotalRoutes, s.MaxRoutes, s.TotalHops, s.P50, s.P99, s.Max)
+}
+
+// RunWorkload issues the workload's messages in order, applying
+// scheduled fault events between sends, and returns aggregate delivery
+// statistics. Unreachable destinations and faulty endpoints are counted,
+// not fatal: a real network keeps operating.
+func (nw *Network) RunWorkload(wl Workload, schedule []FaultEvent) (Stats, error) {
+	if wl.Messages < 0 {
+		return Stats{}, fmt.Errorf("netsim: negative message count")
+	}
+	n := nw.r.Graph().N()
+	if n < 2 {
+		return Stats{}, fmt.Errorf("netsim: need at least two nodes")
+	}
+	events := append([]FaultEvent(nil), schedule...)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].AfterMessage < events[j].AfterMessage })
+	rng := rand.New(rand.NewSource(wl.Seed))
+	var stats Stats
+	var latencies []int
+	next := 0
+	for i := 0; i < wl.Messages; i++ {
+		for next < len(events) && events[next].AfterMessage <= i {
+			if events[next].Repair {
+				nw.Repair(events[next].Node)
+			} else {
+				nw.Fail(events[next].Node)
+			}
+			next++
+		}
+		src := rng.Intn(n)
+		dst := rng.Intn(n)
+		if wl.HotspotFraction > 0 && rng.Float64() < wl.HotspotFraction {
+			dst = wl.Hotspot
+		}
+		for dst == src {
+			dst = (dst + 1) % n
+		}
+		start := nw.Now()
+		del, err := nw.Send(src, dst)
+		switch {
+		case err == nil:
+			stats.Delivered++
+			stats.TotalRoutes += del.RouteTraversals
+			stats.TotalHops += del.Hops
+			if del.RouteTraversals > stats.MaxRoutes {
+				stats.MaxRoutes = del.RouteTraversals
+			}
+			latencies = append(latencies, del.Time-start)
+		case errors.Is(err, ErrUnreachable):
+			stats.Unreachable++
+		case errors.Is(err, ErrFaulty):
+			stats.SkippedFault++
+		default:
+			return stats, err
+		}
+	}
+	if len(latencies) > 0 {
+		sort.Ints(latencies)
+		stats.P50 = latencies[len(latencies)/2]
+		stats.P99 = latencies[len(latencies)*99/100]
+		stats.Max = latencies[len(latencies)-1]
+	}
+	return stats, nil
+}

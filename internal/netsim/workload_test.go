@@ -1,0 +1,119 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunWorkloadNoFaults(t *testing.T) {
+	r, _ := buildKernel(t)
+	nw := New(r, Params{})
+	stats, err := nw.RunWorkload(Workload{Messages: 100, Seed: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Delivered != 100 || stats.Unreachable != 0 || stats.SkippedFault != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.P50 <= 0 || stats.P99 < stats.P50 || stats.Max < stats.P99 {
+		t.Fatalf("latency quantiles wrong: %+v", stats)
+	}
+	if stats.MaxRoutes < 1 || stats.TotalRoutes < stats.Delivered {
+		t.Fatalf("route stats wrong: %+v", stats)
+	}
+}
+
+func TestRunWorkloadDeterministic(t *testing.T) {
+	r, _ := buildKernel(t)
+	a, err := New(r, Params{}).RunWorkload(Workload{Messages: 60, Seed: 5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(r, Params{}).RunWorkload(Workload{Messages: 60, Seed: 5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed, different stats: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunWorkloadWithSchedule(t *testing.T) {
+	r, tol := buildKernel(t)
+	if tol < 2 {
+		t.Skip("need tolerance >= 2")
+	}
+	nw := New(r, Params{})
+	schedule := []FaultEvent{
+		{AfterMessage: 10, Node: 3},
+		{AfterMessage: 30, Node: 9},
+		{AfterMessage: 60, Node: 3, Repair: true},
+	}
+	stats, err := nw.RunWorkload(Workload{Messages: 100, Seed: 2}, schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within tolerance the network stays connected, so nothing is
+	// unreachable; sends to/from the faulty nodes are skipped.
+	if stats.Unreachable != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.SkippedFault == 0 {
+		t.Fatal("some sends should have hit faulty endpoints")
+	}
+	if stats.Delivered+stats.SkippedFault != 100 {
+		t.Fatalf("accounting wrong: %+v", stats)
+	}
+	// Node 3 was repaired: it must be live at the end.
+	if nw.Faults().Has(3) || !nw.Faults().Has(9) {
+		t.Fatalf("final faults = %v", nw.Faults())
+	}
+}
+
+func TestRunWorkloadHotspot(t *testing.T) {
+	r, _ := buildKernel(t)
+	nw := New(r, Params{})
+	stats, err := nw.RunWorkload(Workload{Messages: 50, Seed: 3, HotspotFraction: 0.9, Hotspot: 0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Delivered != 50 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestRunWorkloadErrors(t *testing.T) {
+	r, _ := buildKernel(t)
+	nw := New(r, Params{})
+	if _, err := nw.RunWorkload(Workload{Messages: -1}, nil); err == nil {
+		t.Fatal("negative messages should fail")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := Stats{Delivered: 5, MaxRoutes: 2}
+	if !strings.Contains(s.String(), "delivered=5") {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestRunWorkloadBeyondToleranceCountsUnreachable(t *testing.T) {
+	// Edge routing on a cycle: two antipodal faults disconnect it, so
+	// some sends become unreachable — and the run keeps going.
+	r := cycleEdgeRouting(t, 8)
+	nw := New(r, Params{})
+	schedule := []FaultEvent{
+		{AfterMessage: 0, Node: 0},
+		{AfterMessage: 0, Node: 4},
+	}
+	stats, err := nw.RunWorkload(Workload{Messages: 80, Seed: 7}, schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Unreachable == 0 {
+		t.Fatalf("expected unreachable sends: %+v", stats)
+	}
+	if stats.Delivered == 0 {
+		t.Fatalf("same-side pairs should still deliver: %+v", stats)
+	}
+}

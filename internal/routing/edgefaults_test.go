@@ -1,0 +1,212 @@
+package routing
+
+import (
+	"testing"
+
+	"ftroute/internal/gen"
+	"ftroute/internal/graph"
+)
+
+func TestSurvivingGraphMixedEdgeOnly(t *testing.T) {
+	g, err := gen.Cycle(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := ShortestPath(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fail edge {0,1}: routes traversing it die, everything else lives.
+	d := r.SurvivingGraphMixed(nil, []EdgeFault{{U: 1, V: 0}})
+	if d.HasArc(0, 1) || d.HasArc(1, 0) {
+		t.Fatal("direct route over the dead edge must be gone")
+	}
+	// 0 and 1 are both alive and reachable the long way.
+	if d.Dist(0, 1) == graph.Unreachable {
+		t.Fatal("nodes should remain mutually reachable")
+	}
+	// The route 0-5-4 does not use {0,1}.
+	if !d.HasArc(0, 4) {
+		t.Fatal("unrelated route should survive")
+	}
+}
+
+func TestSurvivingGraphMixedNodeAndEdge(t *testing.T) {
+	g, err := gen.Cycle(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := ShortestPath(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := r.SurvivingGraphMixed(graph.BitsetOf(8, 4), []EdgeFault{{U: 0, V: 1}})
+	if !d.Disabled(4) {
+		t.Fatal("node fault should disable the node")
+	}
+	if d.HasArc(0, 1) {
+		t.Fatal("edge fault should kill the direct route")
+	}
+	if d.HasArc(3, 5) || d.HasArc(5, 3) {
+		t.Fatal("routes through node 4 should be dead")
+	}
+}
+
+func TestMixedWeakerThanNodeMapping(t *testing.T) {
+	// The paper's reduction: mapping each edge fault to an endpoint
+	// node fault kills at least every route the edge fault kills. So
+	// every arc present under the mapped node faults (between nodes
+	// alive in both) must also be present under the literal mixed
+	// semantics.
+	g, err := gen.CCC(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := ShortestPath(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := []EdgeFault{{U: 0, V: 1}, {U: 10, V: 11}}
+	mixed := r.SurvivingGraphMixed(nil, edges)
+	mapped, err := MapEdgeFaultsToNodes(g.N(), nil, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm := r.SurvivingGraph(mapped)
+	for u := 0; u < g.N(); u++ {
+		for v := 0; v < g.N(); v++ {
+			if u == v || mapped.Has(u) || mapped.Has(v) {
+				continue
+			}
+			if dm.HasArc(u, v) && !mixed.HasArc(u, v) {
+				t.Fatalf("arc (%d,%d) survives node mapping but not mixed semantics", u, v)
+			}
+		}
+	}
+}
+
+func TestMapEdgeFaultsReusesFaultyEndpoints(t *testing.T) {
+	nodes := graph.BitsetOf(6, 2)
+	mapped, err := MapEdgeFaultsToNodes(6, nodes, []EdgeFault{{U: 2, V: 3}, {U: 0, V: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// {2,3} is covered by existing fault 2; {0,1} adds max(0,1)=1.
+	if mapped.Count() != 2 || !mapped.Has(2) || !mapped.Has(1) {
+		t.Fatalf("mapped = %v", mapped)
+	}
+}
+
+func TestMapEdgeFaultsOutOfRange(t *testing.T) {
+	if _, err := MapEdgeFaultsToNodes(4, nil, []EdgeFault{{U: 0, V: 9}}); err == nil {
+		t.Fatal("out-of-range edge should error")
+	}
+}
+
+func TestCompileAndWalk(t *testing.T) {
+	g, err := gen.Hypercube(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := ShortestPath(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := Compile(r)
+	if err := ft.VerifyAgainst(r); err != nil {
+		t.Fatal(err)
+	}
+	if ft.Entries() == 0 {
+		t.Fatal("no entries")
+	}
+	// Sum of per-node entries equals the total.
+	total := 0
+	for v := 0; v < g.N(); v++ {
+		total += ft.EntriesAt(v)
+	}
+	if total != ft.Entries() {
+		t.Fatalf("per-node sum %d != total %d", total, ft.Entries())
+	}
+	p, err := ft.Walk(0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Src() != 0 || p.Dst() != 7 || len(p) != 4 {
+		t.Fatalf("walk = %v", p)
+	}
+}
+
+func TestWalkSelfAndMissing(t *testing.T) {
+	g, err := gen.Cycle(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(g)
+	if err := r.Set(Path{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	ft := Compile(r)
+	if p, err := ft.Walk(3, 3); err != nil || len(p) != 1 {
+		t.Fatalf("self walk = %v, %v", p, err)
+	}
+	if _, err := ft.Walk(2, 0); err == nil {
+		t.Fatal("missing route should fail the walk")
+	}
+}
+
+func TestSurvivingWalk(t *testing.T) {
+	g, err := gen.Cycle(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := ShortestPath(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := Compile(r)
+	faults := graph.BitsetOf(6, 1)
+	// Route 0->2 goes through 1: the walk must stop before entering 1.
+	prefix, delivered := ft.SurvivingWalk(0, 2, faults)
+	if delivered {
+		t.Fatal("walk through a faulty node must fail")
+	}
+	if len(prefix) != 1 || prefix[0] != 0 {
+		t.Fatalf("prefix = %v", prefix)
+	}
+	// Route 0->4 goes 0-5-4: unaffected.
+	p, delivered := ft.SurvivingWalk(0, 4, faults)
+	if !delivered || len(p) != 3 {
+		t.Fatalf("unaffected walk = %v, %v", p, delivered)
+	}
+	// Faulty endpoints.
+	if _, ok := ft.SurvivingWalk(1, 4, faults); ok {
+		t.Fatal("faulty source must fail")
+	}
+}
+
+// TestForwardingMatchesSurvivingGraph: a pair's surviving-graph arc
+// exists iff the hop-by-hop walk delivers under the same faults.
+func TestForwardingMatchesSurvivingGraph(t *testing.T) {
+	g, err := gen.CCC(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := ShortestPath(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := Compile(r)
+	faults := graph.BitsetOf(g.N(), 3, 17)
+	d := r.SurvivingGraph(faults)
+	for u := 0; u < g.N(); u++ {
+		for v := 0; v < g.N(); v++ {
+			if u == v || faults.Has(u) || faults.Has(v) {
+				continue
+			}
+			_, delivered := ft.SurvivingWalk(u, v, faults)
+			if delivered != d.HasArc(u, v) {
+				t.Fatalf("(%d,%d): walk=%v arc=%v", u, v, delivered, d.HasArc(u, v))
+			}
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package routing
+
+import (
+	"fmt"
+
+	"ftroute/internal/graph"
+)
+
+// ForwardingTables compile a source routing into per-node next-hop
+// tables, the form actual switches hold: at node w, a message belonging
+// to the route of ordered pair (src, dst) is forwarded to
+// tables.Next(w, src, dst). Endpoints of the pair index the table; this
+// matches the paper's model where the route is fixed per pair and
+// intermediate nodes forward without computing addresses.
+type ForwardingTables struct {
+	n    int
+	next map[hopKey]int32
+}
+
+// hopKey identifies a (at-node, src, dst) forwarding decision.
+type hopKey struct{ at, u, v int32 }
+
+// Compile builds forwarding tables from every route of r.
+func Compile(r *Routing) *ForwardingTables {
+	ft := &ForwardingTables{n: r.g.N(), next: make(map[hopKey]int32)}
+	r.Each(func(u, v int, p Path) {
+		for i := 0; i+1 < len(p); i++ {
+			ft.next[hopKey{int32(p[i]), int32(u), int32(v)}] = int32(p[i+1])
+		}
+	})
+	return ft
+}
+
+// Next returns the next hop at node `at` for the route of (src, dst),
+// or (-1, false) if the node holds no entry for that pair.
+func (ft *ForwardingTables) Next(at, src, dst int) (int, bool) {
+	nx, ok := ft.next[hopKey{int32(at), int32(src), int32(dst)}]
+	if !ok {
+		return -1, false
+	}
+	return int(nx), true
+}
+
+// Entries returns the total number of forwarding entries across all
+// nodes — the table-space cost of the routing.
+func (ft *ForwardingTables) Entries() int { return len(ft.next) }
+
+// EntriesAt returns the number of entries held by one node.
+func (ft *ForwardingTables) EntriesAt(node int) int {
+	c := 0
+	for k := range ft.next {
+		if int(k.at) == node {
+			c++
+		}
+	}
+	return c
+}
+
+// Walk forwards a message hop by hop from src toward dst using only the
+// tables, returning the node sequence traversed. It fails if a node
+// lacks an entry or a forwarding loop arises — both impossible for
+// tables compiled from a valid routing, so a failure indicates
+// corruption.
+func (ft *ForwardingTables) Walk(src, dst int) (Path, error) {
+	if src == dst {
+		return Path{src}, nil
+	}
+	p := Path{src}
+	at := src
+	for steps := 0; steps <= ft.n; steps++ {
+		nx, ok := ft.Next(at, src, dst)
+		if !ok {
+			return nil, fmt.Errorf("routing: node %d has no forwarding entry for (%d,%d)", at, src, dst)
+		}
+		p = append(p, nx)
+		if nx == dst {
+			return p, nil
+		}
+		at = nx
+	}
+	return nil, fmt.Errorf("routing: forwarding loop for (%d,%d)", src, dst)
+}
+
+// VerifyAgainst confirms that, for every route of r, hop-by-hop
+// forwarding reproduces the stored path exactly.
+func (ft *ForwardingTables) VerifyAgainst(r *Routing) error {
+	var firstErr error
+	r.Each(func(u, v int, p Path) {
+		if firstErr != nil {
+			return
+		}
+		walked, err := ft.Walk(u, v)
+		if err != nil {
+			firstErr = err
+			return
+		}
+		if !walked.Equal(p) {
+			firstErr = fmt.Errorf("routing: walk (%d,%d) = %v, route = %v", u, v, walked, p)
+		}
+	})
+	return firstErr
+}
+
+// SurvivingWalk forwards from src to dst while the given nodes are
+// faulty: the walk fails as soon as it would enter a faulty node,
+// mirroring how a real network discovers a dead route. It returns the
+// prefix traversed and whether the message arrived.
+func (ft *ForwardingTables) SurvivingWalk(src, dst int, faults *graph.Bitset) (Path, bool) {
+	if faults.Has(src) || faults.Has(dst) {
+		return nil, false
+	}
+	if src == dst {
+		return Path{src}, true
+	}
+	p := Path{src}
+	at := src
+	for steps := 0; steps <= ft.n; steps++ {
+		nx, ok := ft.Next(at, src, dst)
+		if !ok {
+			return p, false
+		}
+		if faults.Has(nx) {
+			return p, false
+		}
+		p = append(p, nx)
+		if nx == dst {
+			return p, true
+		}
+		at = nx
+	}
+	return p, false
+}

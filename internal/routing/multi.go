@@ -1,0 +1,135 @@
+package routing
+
+import (
+	"fmt"
+
+	"ftroute/internal/graph"
+)
+
+// MultiRouting assigns up to a fixed number of parallel routes to each
+// ordered pair — the extended model of Section 6 of the paper. An arc
+// of the surviving graph exists when at least one of the pair's routes
+// avoids the faults.
+type MultiRouting struct {
+	g             *graph.Graph
+	limit         int
+	routes        map[pairKey][]Path
+	bidirectional bool
+}
+
+// NewMulti returns an empty multirouting allowing up to limit routes per
+// ordered pair (limit <= 0 means unlimited).
+func NewMulti(g *graph.Graph, limit int, bidirectional bool) *MultiRouting {
+	return &MultiRouting{g: g, limit: limit, routes: make(map[pairKey][]Path), bidirectional: bidirectional}
+}
+
+// Graph returns the underlying graph.
+func (m *MultiRouting) Graph() *graph.Graph { return m.g }
+
+// Limit returns the per-pair route budget (0 = unlimited).
+func (m *MultiRouting) Limit() int { return m.limit }
+
+// MaxRoutesPerPair returns the largest number of routes any ordered pair
+// carries.
+func (m *MultiRouting) MaxRoutesPerPair() int {
+	max := 0
+	for _, ps := range m.routes {
+		if len(ps) > max {
+			max = len(ps)
+		}
+	}
+	return max
+}
+
+// Add appends a route for (path.Src(), path.Dst()), ignoring exact
+// duplicates. It returns an error if the path is invalid or the pair's
+// budget is exhausted. Bidirectional multiroutings install the reverse
+// as well.
+func (m *MultiRouting) Add(path Path) error {
+	if err := checkSimplePath(m.g, path); err != nil {
+		return err
+	}
+	if err := m.add(path); err != nil {
+		return err
+	}
+	if m.bidirectional {
+		return m.add(path.Reversed())
+	}
+	return nil
+}
+
+// AddCapped is Add except that a pair whose budget is exhausted is left
+// unchanged (reported as added=false) instead of failing. Invalid paths
+// still return an error. Bidirectional multiroutings report added=true
+// if either direction accepted the path.
+func (m *MultiRouting) AddCapped(path Path) (added bool, err error) {
+	if err := checkSimplePath(m.g, path); err != nil {
+		return false, err
+	}
+	if m.addIfRoom(path) {
+		added = true
+	}
+	if m.bidirectional && m.addIfRoom(path.Reversed()) {
+		added = true
+	}
+	return added, nil
+}
+
+func (m *MultiRouting) addIfRoom(path Path) bool {
+	key := pairKey{int32(path.Src()), int32(path.Dst())}
+	for _, q := range m.routes[key] {
+		if q.Equal(path) {
+			return true
+		}
+	}
+	if m.limit > 0 && len(m.routes[key]) >= m.limit {
+		return false
+	}
+	m.routes[key] = append(m.routes[key], path)
+	return true
+}
+
+func (m *MultiRouting) add(path Path) error {
+	key := pairKey{int32(path.Src()), int32(path.Dst())}
+	for _, q := range m.routes[key] {
+		if q.Equal(path) {
+			return nil
+		}
+	}
+	if m.limit > 0 && len(m.routes[key]) >= m.limit {
+		return fmt.Errorf("routing: pair (%d,%d) exceeds %d routes", path.Src(), path.Dst(), m.limit)
+	}
+	m.routes[key] = append(m.routes[key], path)
+	return nil
+}
+
+// Get returns the routes assigned to (u, v).
+func (m *MultiRouting) Get(u, v int) []Path {
+	return m.routes[pairKey{int32(u), int32(v)}]
+}
+
+// Pairs returns the number of ordered pairs with at least one route.
+func (m *MultiRouting) Pairs() int { return len(m.routes) }
+
+// SurvivingGraph computes the surviving route graph: an arc u→v exists
+// when at least one route of the pair avoids the fault set.
+func (m *MultiRouting) SurvivingGraph(faults *graph.Bitset) *graph.Digraph {
+	d := graph.NewDigraph(m.g.N())
+	if faults != nil {
+		for _, f := range faults.Elements() {
+			d.Disable(f)
+		}
+	}
+	for k, ps := range m.routes {
+		if faults.Has(int(k.u)) || faults.Has(int(k.v)) {
+			continue
+		}
+		for _, p := range ps {
+			if !pathAffected(p, faults) {
+				d.AddArc(int(k.u), int(k.v))
+				break
+			}
+		}
+	}
+	return d
+}

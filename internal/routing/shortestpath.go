@@ -1,0 +1,54 @@
+package routing
+
+import "ftroute/internal/graph"
+
+// ShortestPath builds the complete fixed shortest-path routing that
+// serves as the paper's implicit baseline (analyzed in the worst case by
+// Feldman 1985): every ordered pair is assigned one BFS shortest path,
+// with ties broken deterministically toward smaller node identifiers.
+// The routing is bidirectional: the pair {u,v} with u < v determines the
+// path, used in both directions.
+//
+// Shortest-path routings are optimal in the fault-free case but offer no
+// designed fault tolerance: the surviving route graph can have a large
+// diameter — or even disconnect — under fault sets far smaller than the
+// connectivity. Experiment E13 quantifies this against the paper's
+// constructions.
+func ShortestPath(g *graph.Graph) (*Routing, error) {
+	r := NewBidirectional(g)
+	n := g.N()
+	for u := 0; u < n; u++ {
+		// One BFS per source yields deterministic parent pointers: the
+		// parent of w is the smallest-id predecessor at distance d-1.
+		parent := make([]int32, n)
+		for i := range parent {
+			parent[i] = -2
+		}
+		parent[u] = -1
+		queue := []int32{int32(u)}
+		for head := 0; head < len(queue); head++ {
+			x := int(queue[head])
+			g.EachNeighbor(x, func(y int) bool {
+				if parent[y] == -2 {
+					parent[y] = int32(x)
+					queue = append(queue, int32(y))
+				}
+				return true
+			})
+		}
+		for v := u + 1; v < n; v++ {
+			if parent[v] == -2 {
+				continue // unreachable: partial routing
+			}
+			rev := Path{v}
+			for x := v; parent[x] >= 0; {
+				x = int(parent[x])
+				rev = append(rev, x)
+			}
+			if err := r.Set(rev.Reversed()); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return r, nil
+}
