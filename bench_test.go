@@ -15,7 +15,9 @@ package ftroute
 import (
 	"testing"
 
+	"ftroute/internal/eval"
 	"ftroute/internal/experiments"
+	"ftroute/internal/graph"
 )
 
 // benchExperiment runs one registered experiment per iteration.
@@ -209,6 +211,114 @@ func BenchmarkTwoTreesDetectionRR200(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		HasTwoTrees(g)
+	}
+}
+
+// --- Evaluation-engine benchmarks (see internal/eval.Engine) ---
+//
+// The CCC(4) circular routing (64 nodes, t=2) is the mid-size anchor
+// instance: exhaustive f=2 evaluates 1 + 64 + C(64,2) = 2081 fault
+// sets. Engine* benchmarks exercise the incremental path; the *Legacy*
+// twins force the rebuild-per-set SurvivingGraph path for comparison.
+// BENCH_eval.json records the checked-in baseline numbers.
+
+// legacySurvivor hides EachRoute so eval takes the legacy path.
+type legacySurvivor struct {
+	r *Routing
+}
+
+func (l legacySurvivor) SurvivingGraph(f *graph.Bitset) *graph.Digraph { return l.r.SurvivingGraph(f) }
+func (l legacySurvivor) Graph() *Graph                                 { return l.r.Graph() }
+
+// ccc4Circular builds the anchor instance.
+func ccc4Circular(b *testing.B) *Routing {
+	b.Helper()
+	g, err := CCC(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, _, err := Circular(g, Options{Tolerance: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// BenchmarkEngineCompileCCC4 measures the one-time compilation cost
+// (CSR inverted index + adjacency bitrows) that every search amortizes.
+func BenchmarkEngineCompileCCC4(b *testing.B) {
+	r := ccc4Circular(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if eng := NewEvalEngine(r); eng.AliveCount() != 64 {
+			b.Fatal("bad engine")
+		}
+	}
+}
+
+// BenchmarkEngineFaultToggleCCC4 measures one incremental fault
+// add+remove pair — the per-step cost of walking the enumeration tree,
+// touching only the routes through the toggled node.
+func BenchmarkEngineFaultToggleCCC4(b *testing.B) {
+	eng := NewEvalEngine(ccc4Circular(b))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := i % 64
+		eng.AddFault(v)
+		eng.RemoveFault(v)
+	}
+}
+
+// BenchmarkEngineDiameterCCC4 measures one word-parallel diameter over
+// the live bitrows; compare BenchmarkSurvivingDiameterCCC4, the
+// allocating per-node BFS on a materialized Digraph.
+func BenchmarkEngineDiameterCCC4(b *testing.B) {
+	eng := NewEvalEngine(ccc4Circular(b))
+	eng.SetFaults(FaultsOf(64, 3, 40))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := eng.Diameter(); !ok {
+			b.Fatal("disconnected")
+		}
+	}
+}
+
+// BenchmarkExhaustiveEngineCCC4F2 is the headline: exhaustive f=2
+// evaluation of the anchor instance through the incremental engine.
+func BenchmarkExhaustiveEngineCCC4F2(b *testing.B) {
+	r := ccc4Circular(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := eval.MaxDiameter(r, 2, eval.Config{Mode: eval.Exhaustive})
+		if res.Evaluated != 2081 {
+			b.Fatalf("evaluated %d", res.Evaluated)
+		}
+	}
+}
+
+// BenchmarkExhaustiveLegacyCCC4F2 is the same search forced through the
+// rebuild-per-fault-set SurvivingGraph+Diameter path.
+func BenchmarkExhaustiveLegacyCCC4F2(b *testing.B) {
+	r := ccc4Circular(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := eval.MaxDiameter(legacySurvivor{r: r}, 2, eval.Config{Mode: eval.Exhaustive})
+		if res.Evaluated != 2081 {
+			b.Fatalf("evaluated %d", res.Evaluated)
+		}
+	}
+}
+
+// BenchmarkExhaustiveEngineParallelCCC4F2 adds work-stealing engine
+// clones on top of the incremental path.
+func BenchmarkExhaustiveEngineParallelCCC4F2(b *testing.B) {
+	r := ccc4Circular(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := eval.MaxDiameterParallel(r, 2, eval.Config{Mode: eval.Exhaustive}, 0)
+		if res.Evaluated != 2081 {
+			b.Fatalf("evaluated %d", res.Evaluated)
+		}
 	}
 }
 

@@ -157,6 +157,16 @@ type (
 	EvalConfig = eval.Config
 	// EvalResult reports the worst case found.
 	EvalResult = eval.Result
+	// EvalEngine is the incremental surviving-graph evaluation engine:
+	// it compiles a routing once and then maintains R(G,ρ)/F under
+	// single-fault additions/removals with word-parallel BFS diameters.
+	// All evaluation entry points use it automatically for Routing and
+	// MultiRouting values; it is exported for custom search loops.
+	EvalEngine = eval.Engine
+	// RouteSource is a Survivor that can enumerate its routes, which is
+	// what unlocks the incremental engine (Routing and MultiRouting both
+	// qualify).
+	RouteSource = eval.RouteSource
 )
 
 // Evaluation modes.
@@ -172,10 +182,20 @@ var (
 	// MaxDiameterUnderFaults searches fault sets of size ≤ f for the
 	// worst surviving diameter.
 	MaxDiameterUnderFaults = eval.MaxDiameter
+	// MaxDiameterUnderFaultsParallel fans the search over worker
+	// goroutines (per-worker engine clones with work stealing); results
+	// are bit-for-bit identical to the sequential search for Routing
+	// and MultiRouting values.
+	MaxDiameterUnderFaultsParallel = eval.MaxDiameterParallel
+	// ConcentratorAdversary enumerates fault sets drawn from a target
+	// node set (typically a concentrator).
+	ConcentratorAdversary = eval.ConcentratorAdversary
 	// CheckTolerance verifies a (d, f)-tolerance claim.
 	CheckTolerance = eval.CheckTolerance
 	// DiameterProfile reports worst diameters per fault count 0..f.
 	DiameterProfile = eval.Profile
+	// NewEvalEngine compiles a routing into an incremental engine.
+	NewEvalEngine = eval.NewEngine
 )
 
 // Forwarding-table compilation and edge-fault handling.

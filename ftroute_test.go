@@ -105,3 +105,41 @@ func TestFacadeGraphConstruction(t *testing.T) {
 		t.Fatalf("C4 edge-routing diameter = (%d,%v)", got, ok)
 	}
 }
+
+func TestFacadeEvalEngine(t *testing.T) {
+	g, err := CCC(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _, err := Circular(g, Options{Tolerance: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ RouteSource = r // Routing satisfies the engine's interface
+	eng := NewEvalEngine(r)
+	d0, ok := eng.Diameter()
+	if !ok {
+		t.Fatal("fault-free routing must be connected")
+	}
+	eng.AddFault(0)
+	d1, ok := eng.Diameter()
+	if !ok || d1 < d0 {
+		t.Fatalf("diameter under one fault = (%d,%v), fault-free %d", d1, ok, d0)
+	}
+	eng.RemoveFault(0)
+	if got, ok := eng.Diameter(); !ok || got != d0 {
+		t.Fatalf("fault removal must restore the fault-free diameter: (%d,%v) != %d", got, ok, d0)
+	}
+
+	seq := MaxDiameterUnderFaults(r, 1, EvalConfig{Mode: Exhaustive})
+	par := MaxDiameterUnderFaultsParallel(r, 1, EvalConfig{Mode: Exhaustive}, 4)
+	if seq.MaxDiameter != par.MaxDiameter || seq.Evaluated != par.Evaluated ||
+		seq.WorstFaults.String() != par.WorstFaults.String() {
+		t.Fatalf("parallel %v != sequential %v", par, seq)
+	}
+
+	conc := ConcentratorAdversary(r, 1, []int{0, 1})
+	if conc.Evaluated != 3 {
+		t.Fatalf("concentrator adversary evaluated %d sets, want 3", conc.Evaluated)
+	}
+}

@@ -1,0 +1,3 @@
+module ftroute
+
+go 1.24

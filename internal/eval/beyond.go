@@ -35,8 +35,8 @@ type BeyondResult struct {
 	WorstFaults *graph.Bitset
 }
 
-// componentwise measures one fault set; returns (worst component
-// diameter, shattered).
+// componentwise measures one fault set via the legacy rebuild path;
+// returns (worst component diameter, shattered).
 func componentwise(s Survivor, faults *graph.Bitset) (int, bool) {
 	g := s.Graph()
 	d := s.SurvivingGraph(faults)
@@ -46,10 +46,6 @@ func componentwise(s Survivor, faults *graph.Bitset) (int, bool) {
 	for _, comp := range comps {
 		if len(comp) < 2 {
 			continue
-		}
-		inComp := graph.NewBitset(g.N())
-		for _, v := range comp {
-			inComp.Add(v)
 		}
 		for _, u := range comp {
 			dist := d.BFSDistances(u)
@@ -70,36 +66,81 @@ func componentwise(s Survivor, faults *graph.Bitset) (int, bool) {
 	return worst, shattered
 }
 
+// componentwise is the engine-backed equivalent: surviving-route-graph
+// distances come from the incrementally maintained bitrows instead of a
+// rebuilt Digraph. dist is caller-provided scratch of length >= N.
+func (e *Engine) componentwise(g *graph.Graph, faults *graph.Bitset, dist []int) (int, bool) {
+	comps := g.ConnectedComponents(faults)
+	worst := 0
+	shattered := false
+	for _, comp := range comps {
+		if len(comp) < 2 {
+			continue
+		}
+		for _, u := range comp {
+			e.DistancesFrom(u, dist)
+			for _, v := range comp {
+				if v == u {
+					continue
+				}
+				if dist[v] == graph.Unreachable {
+					shattered = true
+					continue
+				}
+				if dist[v] > worst {
+					worst = dist[v]
+				}
+			}
+		}
+	}
+	return worst, shattered
+}
+
 // BeyondTolerance evaluates every fault set of size exactly f
 // (exhaustive; intended for small instances) and reports componentwise
-// behavior per Open Problem 3.
+// behavior per Open Problem 3. RouteSources are walked incrementally
+// (one engine fault toggle per enumeration step).
 func BeyondTolerance(s Survivor, f int) BeyondResult {
 	g := s.Graph()
 	n := g.N()
 	res := BeyondResult{WorstFaults: graph.NewBitset(n)}
+	eng := engineFor(s)
+	var dist []int
+	if eng != nil {
+		dist = make([]int, n)
+	}
 	faults := graph.NewBitset(n)
 	firstShatter := true
+	leaf := func() {
+		res.Evaluated++
+		if g.IsConnected(faults) {
+			res.GraphConnected++
+		}
+		var worst int
+		var shattered bool
+		if eng != nil {
+			worst, shattered = eng.componentwise(g, faults, dist)
+		} else {
+			worst, shattered = componentwise(s, faults)
+		}
+		if shattered {
+			res.Shattered++
+			if firstShatter {
+				res.WorstFaults = faults.Clone()
+				firstShatter = false
+			}
+		}
+		if worst > res.WorstComponentDiameter {
+			res.WorstComponentDiameter = worst
+			if firstShatter {
+				res.WorstFaults = faults.Clone()
+			}
+		}
+	}
 	var rec func(start, left int)
 	rec = func(start, left int) {
 		if left == 0 {
-			res.Evaluated++
-			if g.IsConnected(faults) {
-				res.GraphConnected++
-			}
-			worst, shattered := componentwise(s, faults)
-			if shattered {
-				res.Shattered++
-				if firstShatter {
-					res.WorstFaults = faults.Clone()
-					firstShatter = false
-				}
-			}
-			if worst > res.WorstComponentDiameter {
-				res.WorstComponentDiameter = worst
-				if firstShatter {
-					res.WorstFaults = faults.Clone()
-				}
-			}
+			leaf()
 			return
 		}
 		if n-start < left {
@@ -107,8 +148,14 @@ func BeyondTolerance(s Survivor, f int) BeyondResult {
 		}
 		for v := start; v < n; v++ {
 			faults.Add(v)
+			if eng != nil {
+				eng.AddFault(v)
+			}
 			rec(v+1, left-1)
 			faults.Remove(v)
+			if eng != nil {
+				eng.RemoveFault(v)
+			}
 		}
 	}
 	rec(0, f)

@@ -1,0 +1,418 @@
+package eval
+
+import (
+	"math/bits"
+
+	"ftroute/internal/graph"
+	"ftroute/internal/routing"
+)
+
+// RouteSource is a Survivor that can also enumerate its fixed routes.
+// Both *routing.Routing and *routing.MultiRouting satisfy it; any
+// Survivor that does is evaluated through the incremental Engine below
+// instead of the rebuild-from-scratch SurvivingGraph path.
+type RouteSource interface {
+	Survivor
+	EachRoute(fn func(u, v int, p routing.Path))
+}
+
+// Engine evaluates surviving route graphs incrementally. It compiles a
+// routing once into flat arrays and then maintains R(G,ρ)/F under
+// single-node fault additions and removals, which is the access pattern
+// of every fault-set search in this package (the exhaustive enumeration
+// tree, the greedy adversary and the concentrator adversary all differ
+// from their previous fault set by one node).
+//
+// Compiled (immutable, shared between clones):
+//
+//   - an inverted index node → routes traversing it (CSR int32 arrays),
+//     so a fault toggle touches only the routes it actually lies on
+//     rather than re-scanning all n² routes;
+//   - per-route → pair and per-pair route-count tables: an arc (u,v) of
+//     the surviving graph is alive while at least one of the pair's
+//     routes has zero faulty nodes.
+//
+// Mutable per-instance state:
+//
+//   - hits[r]: number of current faults on route r;
+//   - deadRoutes[p]: number of the pair's routes with hits > 0;
+//   - adj: the live surviving graph as n rows of ⌈n/64⌉ uint64 words
+//     (bit v of row u set iff arc u→v survives). Because every route
+//     contains its endpoints, arcs incident to a faulty node die
+//     automatically, so the rows never contain faulty nodes.
+//
+// Diameter and reachability run as word-parallel BFS over the bitrows:
+// each level ORs the rows of the current frontier and masks out visited
+// nodes, 64 nodes per machine word, allocation-free after construction.
+//
+// An Engine is not safe for concurrent use; use Clone to give each
+// worker goroutine its own mutable state over the shared compiled form.
+type Engine struct {
+	n     int
+	words int
+
+	// Compiled form, shared (read-only) between clones.
+	pairU, pairV []int32 // pair id -> arc endpoints
+	pairRoutes   []int32 // pair id -> number of parallel routes
+	routePair    []int32 // route id -> pair id
+	idxOff       []int32 // node -> offset into idxRoutes (len n+1)
+	idxRoutes    []int32 // concatenated route ids per node
+
+	// Mutable fault state.
+	hits       []int32 // route id -> faults currently on the route
+	deadRoutes []int32 // pair id -> routes with hits > 0
+	adj        []uint64
+	faults     *graph.Bitset
+	aliveCount int
+
+	// BFS scratch, reused across calls.
+	visited, cur, next []uint64
+}
+
+// NewEngine compiles src into an incremental evaluation engine with an
+// empty fault set.
+func NewEngine(src RouteSource) *Engine {
+	n := src.Graph().N()
+	words := (n + 63) / 64
+	e := &Engine{
+		n:          n,
+		words:      words,
+		idxOff:     make([]int32, n+1),
+		adj:        make([]uint64, n*words),
+		faults:     graph.NewBitset(n),
+		aliveCount: n,
+		visited:    make([]uint64, words),
+		cur:        make([]uint64, words),
+		next:       make([]uint64, words),
+	}
+	pairID := make(map[pairKey]int32)
+	nodeCounts := make([]int32, n)
+	// Pass 1: assign pair and route ids, count index entries per node.
+	type flatRoute struct {
+		pair  int32
+		nodes []int
+	}
+	var routes []flatRoute
+	src.EachRoute(func(u, v int, p routing.Path) {
+		key := pairKey{u: int32(u), v: int32(v)}
+		id, ok := pairID[key]
+		if !ok {
+			id = int32(len(e.pairU))
+			pairID[key] = id
+			e.pairU = append(e.pairU, int32(u))
+			e.pairV = append(e.pairV, int32(v))
+			e.pairRoutes = append(e.pairRoutes, 0)
+			e.adj[u*words+v>>6] |= 1 << (uint(v) & 63)
+		}
+		e.pairRoutes[id]++
+		e.routePair = append(e.routePair, id)
+		routes = append(routes, flatRoute{pair: id, nodes: []int(p)})
+		for _, w := range p {
+			nodeCounts[w]++
+		}
+	})
+	for v := 0; v < n; v++ {
+		e.idxOff[v+1] = e.idxOff[v] + nodeCounts[v]
+	}
+	e.idxRoutes = make([]int32, e.idxOff[n])
+	fill := make([]int32, n)
+	copy(fill, e.idxOff[:n])
+	for r, fr := range routes {
+		for _, w := range fr.nodes {
+			e.idxRoutes[fill[w]] = int32(r)
+			fill[w]++
+		}
+	}
+	e.hits = make([]int32, len(e.routePair))
+	e.deadRoutes = make([]int32, len(e.pairU))
+	return e
+}
+
+// pairKey is shared with package routing's map key shape.
+type pairKey = struct{ u, v int32 }
+
+// Clone returns an independent engine sharing the compiled arrays but
+// with its own fault state and scratch buffers, suitable for a worker
+// goroutine. The clone starts with a copy of e's current fault set.
+func (e *Engine) Clone() *Engine {
+	c := *e
+	c.hits = append([]int32(nil), e.hits...)
+	c.deadRoutes = append([]int32(nil), e.deadRoutes...)
+	c.adj = append([]uint64(nil), e.adj...)
+	c.faults = e.faults.Clone()
+	c.visited = make([]uint64, e.words)
+	c.cur = make([]uint64, e.words)
+	c.next = make([]uint64, e.words)
+	return &c
+}
+
+// N returns the node count of the underlying graph.
+func (e *Engine) N() int { return e.n }
+
+// AliveCount returns the number of nonfaulty nodes.
+func (e *Engine) AliveCount() int { return e.aliveCount }
+
+// Faults returns a copy of the current fault set.
+func (e *Engine) Faults() *graph.Bitset { return e.faults.Clone() }
+
+// HasFault reports whether v is currently faulty.
+func (e *Engine) HasFault(v int) bool { return e.faults.Has(v) }
+
+// AddFault marks v faulty, incrementally killing every surviving arc
+// whose last live route traverses v. Adding an already-faulty or
+// out-of-range node is a no-op. Cost is proportional to the number of
+// routes through v, not to the routing size.
+func (e *Engine) AddFault(v int) {
+	if v < 0 || v >= e.n || e.faults.Has(v) {
+		return
+	}
+	e.faults.Add(v)
+	e.aliveCount--
+	for _, r := range e.idxRoutes[e.idxOff[v]:e.idxOff[v+1]] {
+		e.hits[r]++
+		if e.hits[r] == 1 {
+			p := e.routePair[r]
+			e.deadRoutes[p]++
+			if e.deadRoutes[p] == e.pairRoutes[p] {
+				u, w := e.pairU[p], e.pairV[p]
+				e.adj[int(u)*e.words+int(w)>>6] &^= 1 << (uint(w) & 63)
+			}
+		}
+	}
+}
+
+// RemoveFault unmarks v, reviving every arc that regains a live route.
+// Removing a non-faulty node is a no-op.
+func (e *Engine) RemoveFault(v int) {
+	if v < 0 || v >= e.n || !e.faults.Has(v) {
+		return
+	}
+	e.faults.Remove(v)
+	e.aliveCount++
+	for _, r := range e.idxRoutes[e.idxOff[v]:e.idxOff[v+1]] {
+		e.hits[r]--
+		if e.hits[r] == 0 {
+			p := e.routePair[r]
+			e.deadRoutes[p]--
+			if e.deadRoutes[p] == e.pairRoutes[p]-1 {
+				u, w := e.pairU[p], e.pairV[p]
+				e.adj[int(u)*e.words+int(w)>>6] |= 1 << (uint(w) & 63)
+			}
+		}
+	}
+}
+
+// Reset removes all faults.
+func (e *Engine) Reset() {
+	for _, v := range e.faults.Elements() {
+		e.RemoveFault(v)
+	}
+}
+
+// SetFaults replaces the current fault set with b (nil means empty),
+// applying only the symmetric difference incrementally.
+func (e *Engine) SetFaults(b *graph.Bitset) {
+	for _, v := range e.faults.Elements() {
+		if !b.Has(v) {
+			e.RemoveFault(v)
+		}
+	}
+	if b == nil {
+		return
+	}
+	for _, v := range b.Elements() {
+		e.AddFault(v) // no-op for already-faulty nodes
+	}
+}
+
+// eccentricity runs a word-parallel BFS from src over the live
+// adjacency bitrows. It returns the number of levels needed to reach
+// every alive node, or (0, false) if some alive node is unreachable.
+// With bound >= 0 it gives up as soon as the eccentricity is known to
+// exceed bound (returning false); bound < 0 means unbounded.
+func (e *Engine) eccentricity(src, bound int) (int, bool) {
+	words := e.words
+	visited, cur, next := e.visited, e.cur, e.next
+	for i := range visited {
+		visited[i] = 0
+		cur[i] = 0
+	}
+	visited[src>>6] = 1 << (uint(src) & 63)
+	cur[src>>6] = visited[src>>6]
+	covered := 1
+	ecc := 0
+	for covered < e.aliveCount {
+		if bound >= 0 && ecc == bound {
+			return 0, false
+		}
+		for i := range next {
+			next[i] = 0
+		}
+		for wi := 0; wi < words; wi++ {
+			w := cur[wi]
+			base := wi << 6
+			for w != 0 {
+				u := base | bits.TrailingZeros64(w)
+				w &= w - 1
+				row := e.adj[u*words : (u+1)*words]
+				for i, rw := range row {
+					next[i] |= rw
+				}
+			}
+		}
+		fresh := 0
+		for i := range next {
+			nw := next[i] &^ visited[i]
+			next[i] = nw
+			visited[i] |= nw
+			fresh += bits.OnesCount64(nw)
+		}
+		if fresh == 0 {
+			return 0, false
+		}
+		ecc++
+		covered += fresh
+		cur, next = next, cur
+	}
+	return ecc, true
+}
+
+// Diameter returns the directed diameter of the current surviving route
+// graph over the nonfaulty nodes, and true; or (0, false) if some
+// nonfaulty node cannot reach some other nonfaulty node. At most one
+// alive node yields diameter 0, matching Digraph.Diameter.
+func (e *Engine) Diameter() (int, bool) {
+	diam := 0
+	for u := 0; u < e.n; u++ {
+		if e.faults.Has(u) {
+			continue
+		}
+		ecc, ok := e.eccentricity(u, -1)
+		if !ok {
+			return 0, false
+		}
+		if ecc > diam {
+			diam = ecc
+		}
+	}
+	return diam, true
+}
+
+// DiameterAtMost reports whether the surviving diameter is at most
+// bound, stopping at the first source whose BFS either exceeds bound
+// levels or cannot cover the alive nodes (disconnection exceeds every
+// bound). It is the early-exit path used by tolerance checking: a
+// passing check still scans all sources, but a violated bound is
+// detected without completing the diameter computation.
+func (e *Engine) DiameterAtMost(bound int) bool {
+	if bound < 0 {
+		bound = 0
+	}
+	for u := 0; u < e.n; u++ {
+		if e.faults.Has(u) {
+			continue
+		}
+		if _, ok := e.eccentricity(u, bound); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// DistancesFrom writes into dist (length at least N) the hop distance
+// from src to every node in the current surviving route graph, with
+// graph.Unreachable marking unreachable or faulty nodes. It mirrors
+// Digraph.BFSDistances on the surviving graph but runs word-parallel
+// and allocation-free.
+func (e *Engine) DistancesFrom(src int, dist []int) {
+	for i := 0; i < e.n; i++ {
+		dist[i] = graph.Unreachable
+	}
+	if src < 0 || src >= e.n || e.faults.Has(src) {
+		return
+	}
+	words := e.words
+	visited, cur, next := e.visited, e.cur, e.next
+	for i := range visited {
+		visited[i] = 0
+		cur[i] = 0
+	}
+	visited[src>>6] = 1 << (uint(src) & 63)
+	cur[src>>6] = visited[src>>6]
+	dist[src] = 0
+	for level := 1; ; level++ {
+		for i := range next {
+			next[i] = 0
+		}
+		for wi := 0; wi < words; wi++ {
+			w := cur[wi]
+			base := wi << 6
+			for w != 0 {
+				u := base | bits.TrailingZeros64(w)
+				w &= w - 1
+				row := e.adj[u*words : (u+1)*words]
+				for i, rw := range row {
+					next[i] |= rw
+				}
+			}
+		}
+		fresh := 0
+		for i := range next {
+			nw := next[i] &^ visited[i]
+			next[i] = nw
+			visited[i] |= nw
+			if nw != 0 {
+				base := i << 6
+				for nw != 0 {
+					dist[base|bits.TrailingZeros64(nw)] = level
+					nw &= nw - 1
+					fresh++
+				}
+			}
+		}
+		if fresh == 0 {
+			return
+		}
+		cur, next = next, cur
+	}
+}
+
+// HasArc reports whether the arc u→v currently survives.
+func (e *Engine) HasArc(u, v int) bool {
+	if u < 0 || u >= e.n || v < 0 || v >= e.n {
+		return false
+	}
+	return e.adj[u*e.words+v>>6]&(1<<(uint(v)&63)) != 0
+}
+
+// engineFor returns an Engine for s when s can enumerate its routes,
+// or nil when only the legacy SurvivingGraph path is available.
+func engineFor(s Survivor) *Engine {
+	if rs, ok := s.(RouteSource); ok {
+		return NewEngine(rs)
+	}
+	return nil
+}
+
+// fold evaluates the engine's current fault set into res with exactly
+// the semantics of evalOne: fewer than two alive nodes contribute
+// nothing, disconnection dominates and freezes the diameter, and the
+// first worst case in evaluation order is kept as the witness.
+func (e *Engine) fold(res *Result) {
+	res.Evaluated++
+	if e.aliveCount <= 1 {
+		return
+	}
+	diam, ok := e.Diameter()
+	if !ok {
+		if !res.Disconnected {
+			res.Disconnected = true
+			res.WorstFaults = e.faults.Clone()
+		}
+		return
+	}
+	if !res.Disconnected && diam > res.MaxDiameter {
+		res.MaxDiameter = diam
+		res.WorstFaults = e.faults.Clone()
+	}
+}

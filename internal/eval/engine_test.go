@@ -1,0 +1,377 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"ftroute/internal/core"
+	"ftroute/internal/gen"
+	"ftroute/internal/graph"
+	"ftroute/internal/routing"
+)
+
+// legacyOnly hides EachRoute so that eval falls back to the
+// rebuild-per-set SurvivingGraph path; it is the reference
+// implementation the engine must match bit for bit.
+type legacyOnly struct {
+	s Survivor
+}
+
+func (l legacyOnly) SurvivingGraph(f *graph.Bitset) *graph.Digraph { return l.s.SurvivingGraph(f) }
+func (l legacyOnly) Graph() *graph.Graph                           { return l.s.Graph() }
+
+// testSources builds a spread of routings: edge routings, shortest-path
+// routings on random graphs, a paper construction, a deliberately
+// fragile routing, and a multirouting.
+func testSources(t *testing.T) map[string]Survivor {
+	t.Helper()
+	srcs := make(map[string]Survivor)
+
+	srcs["cycle8-edge"] = cycleRouting(t, 8)
+
+	pet := gen.Petersen()
+	sp, err := routing.ShortestPath(pet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs["petersen-sp"] = sp
+
+	rg, _, err := gen.RandomRegularConnected(14, 3, 11, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsp, err := routing.ShortestPath(rg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs["rr14-sp"] = rsp
+
+	ccc, err := gen.CCC(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	circ, _, err := core.Circular(ccc, core.Options{Tolerance: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs["ccc3-circular"] = circ
+
+	frag := graph.New(6)
+	for i := 0; i < 6; i++ {
+		frag.MustAddEdge(i, (i+1)%6)
+	}
+	srcs["fragile"] = newSingleRouteRouting(t, frag)
+
+	c8, err := gen.Cycle(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, _, err := core.FullMultirouting(c8, core.Options{Tolerance: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs["c8-multi"] = multi
+
+	return srcs
+}
+
+// sameResult asserts bit-for-bit equality including the witness set.
+func sameResult(t *testing.T, name string, got, want Result) {
+	t.Helper()
+	if got.MaxDiameter != want.MaxDiameter || got.Disconnected != want.Disconnected ||
+		got.Evaluated != want.Evaluated || got.WorstFaults.String() != want.WorstFaults.String() {
+		t.Fatalf("%s: engine %+v (F=%v) != legacy %+v (F=%v)",
+			name, got, got.WorstFaults, want, want.WorstFaults)
+	}
+}
+
+func TestEngineMatchesSurvivingGraphOnRandomFaultSets(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for name, s := range testSources(t) {
+		rs, ok := s.(RouteSource)
+		if !ok {
+			t.Fatalf("%s: not a RouteSource", name)
+		}
+		eng := NewEngine(rs)
+		n := s.Graph().N()
+		dist := make([]int, n)
+		for trial := 0; trial < 40; trial++ {
+			faults := drawFaults(rng, n, rng.Intn(n/2+1))
+			eng.SetFaults(faults)
+			d := s.SurvivingGraph(faults)
+			// Arc-level agreement.
+			for u := 0; u < n; u++ {
+				for v := 0; v < n; v++ {
+					if u == v {
+						continue
+					}
+					want := d.HasArc(u, v) && !faults.Has(u) && !faults.Has(v)
+					if eng.HasArc(u, v) != want {
+						t.Fatalf("%s F=%v: arc %d->%d engine=%v legacy=%v",
+							name, faults, u, v, eng.HasArc(u, v), want)
+					}
+				}
+			}
+			// Diameter agreement (skip the <=1 alive case, where the
+			// legacy search never asks for a diameter).
+			if eng.AliveCount() > 1 {
+				gd, gok := eng.Diameter()
+				wd, wok := d.Diameter()
+				if gd != wd || gok != wok {
+					t.Fatalf("%s F=%v: engine diameter (%d,%v) != legacy (%d,%v)",
+						name, faults, gd, gok, wd, wok)
+				}
+				for bound := 0; bound <= wd+1; bound++ {
+					want := wok && wd <= bound
+					if eng.DiameterAtMost(bound) != want {
+						t.Fatalf("%s F=%v: DiameterAtMost(%d) != %v", name, faults, bound, want)
+					}
+				}
+			}
+			// Distance agreement from every source.
+			for u := 0; u < n; u++ {
+				eng.DistancesFrom(u, dist)
+				ref := d.BFSDistances(u)
+				for v := 0; v < n; v++ {
+					if dist[v] != ref[v] {
+						t.Fatalf("%s F=%v: dist(%d,%d) engine=%d legacy=%d",
+							name, faults, u, v, dist[v], ref[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEngineIncrementalMatchesRebuild(t *testing.T) {
+	// Random add/remove walk: after every single toggle the engine must
+	// agree with a from-scratch rebuild.
+	rng := rand.New(rand.NewSource(17))
+	for name, s := range testSources(t) {
+		eng := NewEngine(s.(RouteSource))
+		n := s.Graph().N()
+		faults := graph.NewBitset(n)
+		for step := 0; step < 120; step++ {
+			v := rng.Intn(n)
+			if faults.Has(v) {
+				faults.Remove(v)
+				eng.RemoveFault(v)
+			} else {
+				faults.Add(v)
+				eng.AddFault(v)
+			}
+			if eng.AliveCount() != n-faults.Count() {
+				t.Fatalf("%s: alive %d != %d", name, eng.AliveCount(), n-faults.Count())
+			}
+			if eng.AliveCount() <= 1 {
+				continue
+			}
+			d := s.SurvivingGraph(faults)
+			gd, gok := eng.Diameter()
+			wd, wok := d.Diameter()
+			if gd != wd || gok != wok {
+				t.Fatalf("%s step %d F=%v: engine (%d,%v) != legacy (%d,%v)",
+					name, step, faults, gd, gok, wd, wok)
+			}
+		}
+	}
+}
+
+func TestEngineExhaustiveEquivalence(t *testing.T) {
+	for name, s := range testSources(t) {
+		for f := 0; f <= 2; f++ {
+			got := MaxDiameter(s, f, Config{Mode: Exhaustive})
+			want := MaxDiameter(legacyOnly{s}, f, Config{Mode: Exhaustive})
+			sameResult(t, name, got, want)
+		}
+	}
+}
+
+func TestEngineSampledGreedyEquivalence(t *testing.T) {
+	for name, s := range testSources(t) {
+		for _, cfg := range []Config{
+			{Mode: Sampled, Samples: 40, Seed: 5},
+			{Mode: Sampled, Samples: 40, Seed: 5, Greedy: true},
+			{Mode: Sampled, Samples: 1, Seed: 9, Greedy: true},
+		} {
+			got := MaxDiameter(s, 2, cfg)
+			want := MaxDiameter(legacyOnly{s}, 2, cfg)
+			sameResult(t, name, got, want)
+		}
+	}
+}
+
+func TestEngineParallelExhaustiveEquivalence(t *testing.T) {
+	for name, s := range testSources(t) {
+		want := MaxDiameter(s, 2, Config{Mode: Exhaustive})
+		for _, workers := range []int{2, 3, 8} {
+			got := MaxDiameterParallel(s, 2, Config{Mode: Exhaustive}, workers)
+			sameResult(t, name, got, want)
+		}
+	}
+}
+
+func TestEngineParallelSampledGreedyEquivalence(t *testing.T) {
+	for _, cfg := range []Config{
+		{Mode: Sampled, Samples: 30, Seed: 12, Greedy: true},
+		// One sample with many workers: the sampling fan-out clamps to
+		// 1 but the greedy phase must still use all workers.
+		{Mode: Sampled, Samples: 1, Seed: 12, Greedy: true},
+	} {
+		for name, s := range testSources(t) {
+			want := MaxDiameter(s, 2, cfg)
+			for _, workers := range []int{2, 4} {
+				got := MaxDiameterParallel(s, 2, cfg, workers)
+				sameResult(t, name, got, want)
+			}
+		}
+	}
+}
+
+func TestNegativeFaultBudget(t *testing.T) {
+	// f < 0 must mean "empty set only" on every path (the serial legacy
+	// recursion used to enumerate all 2^n subsets on a negative budget).
+	r := cycleRouting(t, 6)
+	for _, s := range []Survivor{r, legacyOnly{s: r}} {
+		for _, res := range []Result{
+			MaxDiameter(s, -1, Config{Mode: Exhaustive}),
+			MaxDiameter(s, -1, Config{Mode: Sampled, Samples: 2, Seed: 1}),
+			MaxDiameterParallel(s, -1, Config{Mode: Exhaustive}, 4),
+		} {
+			if res.Disconnected || res.MaxDiameter != 3 {
+				t.Fatalf("f=-1 result = %+v", res)
+			}
+		}
+	}
+}
+
+func TestEngineConcentratorEquivalence(t *testing.T) {
+	for name, s := range testSources(t) {
+		n := s.Graph().N()
+		targets := []int{0, n / 3, n / 2, n - 1}
+		got := ConcentratorAdversary(s, 2, targets)
+		want := ConcentratorAdversary(legacyOnly{s}, 2, targets)
+		sameResult(t, name, got, want)
+	}
+}
+
+func TestEngineProfileEquivalence(t *testing.T) {
+	for name, s := range testSources(t) {
+		for _, cfg := range []Config{
+			{Mode: Exhaustive},
+			{Mode: Sampled, Samples: 25, Seed: 3},
+		} {
+			got := Profile(s, 2, cfg)
+			want := Profile(legacyOnly{s}, 2, cfg)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s: profile %v != legacy %v", name, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestEngineCheckToleranceAgreesWithLegacy(t *testing.T) {
+	for name, s := range testSources(t) {
+		for d := 1; d <= 6; d++ {
+			for f := 0; f <= 2; f++ {
+				got := CheckTolerance(s, d, f, Config{Mode: Exhaustive})
+				want := CheckTolerance(legacyOnly{s}, d, f, Config{Mode: Exhaustive})
+				if (got == nil) != (want == nil) {
+					t.Fatalf("%s (d=%d,f=%d): engine err=%v legacy err=%v", name, d, f, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestEngineBeyondToleranceEquivalence(t *testing.T) {
+	for name, s := range testSources(t) {
+		for f := 1; f <= 2; f++ {
+			got := BeyondTolerance(s, f)
+			want := BeyondTolerance(legacyOnly{s}, f)
+			if got.Evaluated != want.Evaluated || got.GraphConnected != want.GraphConnected ||
+				got.Shattered != want.Shattered ||
+				got.WorstComponentDiameter != want.WorstComponentDiameter ||
+				got.WorstFaults.String() != want.WorstFaults.String() {
+				t.Fatalf("%s f=%d: engine %+v != legacy %+v", name, f, got, want)
+			}
+		}
+	}
+}
+
+func TestEngineDisconnectionWitnessSemantics(t *testing.T) {
+	// C6 edge routing, f=2: the engine must report the same first
+	// disconnecting fault set as the legacy enumeration, and freeze the
+	// pre-disconnection diameter.
+	r := cycleRouting(t, 6)
+	got := MaxDiameter(r, 2, Config{Mode: Exhaustive})
+	want := MaxDiameter(legacyOnly{s: r}, 2, Config{Mode: Exhaustive})
+	if !got.Disconnected {
+		t.Fatal("two faults disconnect C6")
+	}
+	sameResult(t, "c6", got, want)
+}
+
+func TestSampledClampsOversizedFaultBudget(t *testing.T) {
+	// f > n used to loop forever in sampled(); it must now clamp to n
+	// and terminate on both the engine and the legacy path.
+	r := cycleRouting(t, 5)
+	for _, s := range []Survivor{r, legacyOnly{s: r}} {
+		res := MaxDiameter(s, 99, Config{Mode: Sampled, Samples: 3, Seed: 1})
+		if res.Evaluated != 4 { // empty + 3 samples
+			t.Fatalf("evaluated = %d, want 4", res.Evaluated)
+		}
+	}
+}
+
+func TestEngineCloneIsIndependent(t *testing.T) {
+	r := cycleRouting(t, 10)
+	eng := NewEngine(r)
+	eng.AddFault(0)
+	c := eng.Clone()
+	if !c.HasFault(0) || c.AliveCount() != 9 {
+		t.Fatalf("clone did not inherit fault state")
+	}
+	c.AddFault(5)
+	if eng.HasFault(5) {
+		t.Fatal("clone mutation leaked into parent")
+	}
+	eng.RemoveFault(0)
+	if !c.HasFault(0) {
+		t.Fatal("parent mutation leaked into clone")
+	}
+	// Both still compute correct diameters after divergence.
+	d1, ok1 := eng.Diameter()
+	if !ok1 || d1 != 5 { // fault-free C10
+		t.Fatalf("parent diameter = (%d,%v)", d1, ok1)
+	}
+	ref := r.SurvivingGraph(graph.BitsetOf(10, 0, 5))
+	wd, wok := ref.Diameter()
+	gd, gok := c.Diameter()
+	if gd != wd || gok != wok {
+		t.Fatalf("clone diameter (%d,%v) != legacy (%d,%v)", gd, gok, wd, wok)
+	}
+}
+
+func TestEngineResetAndSetFaults(t *testing.T) {
+	r := cycleRouting(t, 9)
+	eng := NewEngine(r)
+	eng.SetFaults(graph.BitsetOf(9, 1, 4, 7))
+	if eng.AliveCount() != 6 {
+		t.Fatalf("alive = %d", eng.AliveCount())
+	}
+	eng.SetFaults(graph.BitsetOf(9, 4))
+	if eng.AliveCount() != 8 || eng.HasFault(1) || !eng.HasFault(4) {
+		t.Fatalf("symmetric-difference update wrong: F=%v", eng.Faults())
+	}
+	eng.Reset()
+	if eng.AliveCount() != 9 {
+		t.Fatalf("reset left faults: %v", eng.Faults())
+	}
+	d, ok := eng.Diameter()
+	if !ok || d != 4 {
+		t.Fatalf("post-reset diameter (%d,%v), want (4,true)", d, ok)
+	}
+}

@@ -3,6 +3,29 @@
 // adversarial growth), computes the diameter of each surviving route
 // graph R(G,ρ)/F, and checks the (d, f)-tolerance claims of the paper's
 // theorems.
+//
+// # Evaluation engine
+//
+// All searches share one access pattern: consecutive fault sets differ
+// by a single node (the exhaustive enumeration tree, the greedy
+// adversary and the concentrator adversary each add or remove one
+// fault at a time). The package exploits this with Engine, which
+// compiles a routing once into flat arrays — an inverted index from
+// each node to the routes traversing it, and per-route/per-pair fault
+// counters — so toggling one fault updates only the arcs whose routes
+// actually pass through that node, instead of rebuilding R(G,ρ)/F from
+// all n² routes. The live surviving graph is kept as packed uint64
+// adjacency bitrows and diameters are computed by word-parallel BFS
+// (64 nodes per machine word, allocation-free), with an early-exit
+// DiameterAtMost path for tolerance checking.
+//
+// Every entry point (MaxDiameter, MaxDiameterParallel, Profile,
+// CheckTolerance, BeyondTolerance, ConcentratorAdversary) routes
+// through the engine automatically whenever the Survivor also
+// implements RouteSource — true for *routing.Routing and
+// *routing.MultiRouting — and produces bit-for-bit identical results
+// to the legacy SurvivingGraph+Diameter path, which is retained as a
+// compatibility fallback for custom Survivor implementations.
 package eval
 
 import (
@@ -14,7 +37,8 @@ import (
 
 // Survivor is the routing-side interface eval needs: anything that can
 // produce a surviving route graph for a fault set. Both *routing.Routing
-// and *routing.MultiRouting implement it.
+// and *routing.MultiRouting implement it (and also RouteSource, which
+// unlocks the fast incremental engine).
 type Survivor interface {
 	SurvivingGraph(faults *graph.Bitset) *graph.Digraph
 	Graph() *graph.Graph
@@ -71,7 +95,9 @@ func MaxDiameter(s Survivor, f int, cfg Config) Result {
 	}
 }
 
-// evalOne evaluates one fault set, folding it into the result.
+// evalOne evaluates one fault set through the legacy rebuild-per-set
+// path, folding it into the result. Engine.fold is the incremental
+// equivalent; the two must agree bit for bit.
 func evalOne(s Survivor, faults *graph.Bitset, res *Result) {
 	res.Evaluated++
 	d := s.SurvivingGraph(faults)
@@ -92,8 +118,18 @@ func evalOne(s Survivor, faults *graph.Bitset, res *Result) {
 	}
 }
 
-// exhaustive enumerates all fault sets of size 0..f.
+// exhaustive enumerates all fault sets of size 0..f. A negative budget
+// means the empty set only.
 func exhaustive(s Survivor, f int) Result {
+	if f < 0 {
+		f = 0
+	}
+	if eng := engineFor(s); eng != nil {
+		res := Result{WorstFaults: graph.NewBitset(eng.N())}
+		eng.fold(&res) // empty set
+		eng.descend(0, f, &res)
+		return res
+	}
 	n := s.Graph().N()
 	res := Result{WorstFaults: graph.NewBitset(n)}
 	faults := graph.NewBitset(n)
@@ -114,33 +150,81 @@ func exhaustive(s Survivor, f int) Result {
 	return res
 }
 
+// descend walks the exhaustive enumeration subtree of fault sets that
+// extend the engine's current set with nodes from start..n-1, up to
+// left more faults, evaluating every set in the same preorder as the
+// legacy recursion. The engine is restored on return.
+func (e *Engine) descend(start, left int, res *Result) {
+	if left == 0 {
+		return
+	}
+	for v := start; v < e.n; v++ {
+		e.AddFault(v)
+		e.fold(res)
+		e.descend(v+1, left-1, res)
+		e.RemoveFault(v)
+	}
+}
+
 // sampled draws random fault sets of size exactly f and optionally runs
-// a greedy adversarial search.
+// a greedy adversarial search. f is clamped to the node count: a fault
+// set cannot contain more than n distinct nodes, and without the clamp
+// the rejection-style draw below could never reach its target size.
 func sampled(s Survivor, f int, cfg Config) Result {
 	n := s.Graph().N()
+	if f > n {
+		f = n
+	}
+	if f < 0 {
+		f = 0
+	}
 	samples := cfg.Samples
 	if samples <= 0 {
 		samples = 200
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	eng := engineFor(s)
 	res := Result{WorstFaults: graph.NewBitset(n)}
-	evalOne(s, graph.NewBitset(n), &res)
+	if eng != nil {
+		eng.fold(&res) // empty set
+	} else {
+		evalOne(s, graph.NewBitset(n), &res)
+	}
 	for i := 0; i < samples; i++ {
-		faults := graph.NewBitset(n)
-		for faults.Count() < f {
-			faults.Add(rng.Intn(n))
+		faults := drawFaults(rng, n, f)
+		if eng != nil {
+			eng.SetFaults(faults)
+			eng.fold(&res)
+		} else {
+			evalOne(s, faults, &res)
 		}
-		evalOne(s, faults, &res)
+	}
+	if eng != nil {
+		eng.Reset()
 	}
 	if cfg.Greedy {
-		greedyAdversary(s, f, &res)
+		if eng != nil {
+			eng.greedyAdversary(f, &res)
+		} else {
+			greedyAdversary(s, f, &res)
+		}
 	}
 	return res
 }
 
+// drawFaults draws one uniform fault set of size exactly f (f <= n).
+func drawFaults(rng *rand.Rand, n, f int) *graph.Bitset {
+	faults := graph.NewBitset(n)
+	for faults.Count() < f {
+		faults.Add(rng.Intn(n))
+	}
+	return faults
+}
+
 // greedyAdversary grows a fault set one node at a time, at each step
 // keeping the node whose addition maximizes the surviving diameter
-// (preferring disconnection outright).
+// (preferring disconnection outright). Legacy Survivor path; the
+// Engine method below is the incremental equivalent.
 func greedyAdversary(s Survivor, f int, res *Result) {
 	n := s.Graph().N()
 	faults := graph.NewBitset(n)
@@ -182,11 +266,63 @@ func greedyAdversary(s Survivor, f int, res *Result) {
 	}
 }
 
+// greedyAdversary is the engine-backed greedy adversarial search: each
+// candidate probe is one AddFault/RemoveFault pair instead of a full
+// surviving-graph rebuild. The engine must start fault-free; it ends
+// holding the grown fault set.
+func (e *Engine) greedyAdversary(f int, res *Result) {
+	for round := 0; round < f; round++ {
+		bestV, bestDiam, bestDisc := -1, -1, false
+		for v := 0; v < e.n; v++ {
+			if e.HasFault(v) {
+				continue
+			}
+			e.AddFault(v)
+			res.Evaluated++
+			if e.AliveCount() > 1 {
+				diam, ok := e.Diameter()
+				disc := !ok
+				if disc && !bestDisc {
+					bestV, bestDiam, bestDisc = v, diam, true
+				} else if !disc && !bestDisc && diam > bestDiam {
+					bestV, bestDiam = v, diam
+				}
+			}
+			e.RemoveFault(v)
+		}
+		if bestV == -1 {
+			break
+		}
+		e.AddFault(bestV)
+		if bestDisc {
+			if !res.Disconnected {
+				res.Disconnected = true
+				res.WorstFaults = e.Faults()
+			}
+			return
+		}
+		if !res.Disconnected && bestDiam > res.MaxDiameter {
+			res.MaxDiameter = bestDiam
+			res.WorstFaults = e.Faults()
+		}
+	}
+}
+
 // CheckTolerance verifies a (d, f)-tolerance claim: it returns nil when
 // every evaluated fault set of size at most f leaves the surviving graph
 // with diameter at most d. In Exhaustive mode this is a proof over the
 // instance; in Sampled mode it is a statistical check.
+//
+// The exhaustive engine path checks each fault set with the early-exit
+// DiameterAtMost scan and stops at the first violation, so the reported
+// counterexample is the first one in enumeration order (the legacy path
+// reports the globally worst set; both witness the same claim failure).
 func CheckTolerance(s Survivor, d, f int, cfg Config) error {
+	if cfg.Mode == Exhaustive {
+		if eng := engineFor(s); eng != nil {
+			return eng.checkTolerance(d, f)
+		}
+	}
 	res := MaxDiameter(s, f, cfg)
 	if res.Disconnected {
 		return fmt.Errorf("eval: fault set %v disconnects the surviving graph (claimed (%d,%d)-tolerant)", res.WorstFaults, d, f)
@@ -197,17 +333,60 @@ func CheckTolerance(s Survivor, d, f int, cfg Config) error {
 	return nil
 }
 
+// checkTolerance walks the exhaustive enumeration with the bounded
+// diameter scan, returning the first (d, f)-violation found.
+func (e *Engine) checkTolerance(d, f int) error {
+	check := func() error {
+		if e.AliveCount() <= 1 || e.DiameterAtMost(d) {
+			return nil
+		}
+		diam, ok := e.Diameter()
+		if !ok {
+			return fmt.Errorf("eval: fault set %v disconnects the surviving graph (claimed (%d,%d)-tolerant)", e.faults, d, f)
+		}
+		return fmt.Errorf("eval: fault set %v gives diameter %d (claimed (%d,%d)-tolerant)", e.faults, diam, d, f)
+	}
+	if err := check(); err != nil {
+		return err
+	}
+	var rec func(start, left int) error
+	rec = func(start, left int) error {
+		if left == 0 {
+			return nil
+		}
+		for v := start; v < e.n; v++ {
+			e.AddFault(v)
+			if err := check(); err != nil {
+				return err
+			}
+			if err := rec(v+1, left-1); err != nil {
+				return err
+			}
+			e.RemoveFault(v)
+		}
+		return nil
+	}
+	return rec(0, f)
+}
+
 // Profile reports, for each fault count 0..f, the worst surviving
 // diameter found (-1 encodes disconnection). It shares cfg semantics
 // with MaxDiameter but evaluates each size separately, which is the
 // shape of the per-fault-count tables in EXPERIMENTS.md.
 func Profile(s Survivor, f int, cfg Config) []int {
 	out := make([]int, f+1)
+	var eng *Engine
+	if cfg.Mode == Exhaustive {
+		eng = engineFor(s) // the Sampled branch compiles its own
+	}
 	for k := 0; k <= f; k++ {
 		var res Result
-		if cfg.Mode == Exhaustive {
+		switch {
+		case cfg.Mode == Exhaustive && eng != nil:
+			res = eng.exhaustiveExact(k)
+		case cfg.Mode == Exhaustive:
 			res = exhaustiveExact(s, k)
-		} else {
+		default:
 			res = sampled(s, k, cfg)
 		}
 		if res.Disconnected {
@@ -219,7 +398,7 @@ func Profile(s Survivor, f int, cfg Config) []int {
 	return out
 }
 
-// exhaustiveExact enumerates fault sets of size exactly k.
+// exhaustiveExact enumerates fault sets of size exactly k (legacy path).
 func exhaustiveExact(s Survivor, k int) Result {
 	n := s.Graph().N()
 	res := Result{WorstFaults: graph.NewBitset(n)}
@@ -237,6 +416,29 @@ func exhaustiveExact(s Survivor, k int) Result {
 			faults.Add(v)
 			rec(v+1, left-1)
 			faults.Remove(v)
+		}
+	}
+	rec(0, k)
+	return res
+}
+
+// exhaustiveExact enumerates fault sets of size exactly k incrementally.
+// The engine must start fault-free and is restored on return.
+func (e *Engine) exhaustiveExact(k int) Result {
+	res := Result{WorstFaults: graph.NewBitset(e.n)}
+	var rec func(start, left int)
+	rec = func(start, left int) {
+		if left == 0 {
+			e.fold(&res)
+			return
+		}
+		if e.n-start < left {
+			return
+		}
+		for v := start; v < e.n; v++ {
+			e.AddFault(v)
+			rec(v+1, left-1)
+			e.RemoveFault(v)
 		}
 	}
 	rec(0, k)

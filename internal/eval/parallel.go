@@ -1,29 +1,266 @@
 package eval
 
 import (
+	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"ftroute/internal/graph"
 )
 
 // MaxDiameterParallel is MaxDiameter with the fault-set search fanned
-// out over worker goroutines. Results are identical to the sequential
-// search (the worst case over a fixed enumeration is order-independent;
-// ties may report a different witness fault set). It is worthwhile for
-// exhaustive searches over medium graphs, where each fault set costs a
-// full surviving-graph + diameter computation.
+// out over worker goroutines. When the Survivor is a RouteSource the
+// search runs on per-worker Engine clones with work stealing over
+// enumeration prefixes (Exhaustive mode) or over pre-drawn sample sets
+// plus per-round greedy candidates (Sampled mode), and the merged
+// result — including the worst-case witness — is bit-for-bit identical
+// to the sequential search, because sub-results are folded back in
+// enumeration order. For plain Survivors only the exhaustive mode is
+// parallelized (with the documented ties-may-differ witness caveat).
 func MaxDiameterParallel(s Survivor, f int, cfg Config, workers int) Result {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers == 1 || cfg.Mode != Exhaustive {
+	if f < 0 {
+		f = 0
+	}
+	eng := engineFor(s)
+	if cfg.Mode != Exhaustive {
+		if eng == nil || workers == 1 {
+			return MaxDiameter(s, f, cfg)
+		}
+		return eng.sampledParallel(f, cfg, workers)
+	}
+	if workers == 1 || f == 0 {
 		return MaxDiameter(s, f, cfg)
 	}
+	if eng != nil {
+		return eng.exhaustiveParallel(f, workers)
+	}
+	return legacyExhaustiveParallel(s, f, workers)
+}
+
+// mergeOrdered folds sub-result r into merged, where r covers a span of
+// the enumeration strictly after everything already merged. Replaying
+// the fold in order preserves the sequential semantics exactly: the
+// first disconnection freezes the diameter and owns the witness, and
+// the first set achieving the maximum diameter is the witness otherwise.
+func mergeOrdered(merged *Result, r Result) {
+	merged.Evaluated += r.Evaluated
+	if merged.Disconnected {
+		return
+	}
+	if r.MaxDiameter > merged.MaxDiameter {
+		merged.MaxDiameter = r.MaxDiameter
+		if !r.Disconnected {
+			merged.WorstFaults = r.WorstFaults
+		}
+	}
+	if r.Disconnected {
+		merged.Disconnected = true
+		merged.WorstFaults = r.WorstFaults
+	}
+}
+
+// exhaustiveParallel enumerates all fault sets of size 0..f. Work unit
+// v is the subtree of sets whose smallest element is v; workers steal
+// units from a shared counter, each on its own engine clone, and the
+// per-unit results are merged in enumeration order.
+func (e *Engine) exhaustiveParallel(f, workers int) Result {
+	n := e.n
+	merged := Result{WorstFaults: graph.NewBitset(n)}
+	e.fold(&merged) // empty set
+	if f <= 0 || n == 0 {
+		return merged
+	}
+	if workers > n {
+		workers = n
+	}
+	per := make([]Result, n)
+	var nextUnit atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := e.Clone()
+			for {
+				v := int(nextUnit.Add(1)) - 1
+				if v >= n {
+					return
+				}
+				res := Result{WorstFaults: graph.NewBitset(n)}
+				c.AddFault(v)
+				c.fold(&res)
+				c.descend(v+1, f-1, &res)
+				c.RemoveFault(v)
+				per[v] = res
+			}
+		}()
+	}
+	wg.Wait()
+	for _, r := range per {
+		mergeOrdered(&merged, r)
+	}
+	return merged
+}
+
+// sampledParallel evaluates pre-drawn random fault sets on per-worker
+// clones, then (optionally) runs the greedy adversary with its
+// candidate probes parallelized per round. The random sets are drawn
+// up front from the seeded rng in the same order as the sequential
+// path, so the result is identical to MaxDiameter in Sampled mode.
+func (e *Engine) sampledParallel(f int, cfg Config, workers int) Result {
+	n := e.n
+	if f > n {
+		f = n
+	}
+	samples := cfg.Samples
+	if samples <= 0 {
+		samples = 200
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	merged := Result{WorstFaults: graph.NewBitset(n)}
+	e.fold(&merged) // empty set
+	sets := make([]*graph.Bitset, samples)
+	for i := range sets {
+		sets[i] = drawFaults(rng, n, f)
+	}
+	per := make([]Result, samples)
+	var nextSample atomic.Int64
+	var wg sync.WaitGroup
+	// Clamp only the sampling fan-out; the greedy phase below has its
+	// own candidate-level parallelism and keeps the caller's workers.
+	sampleWorkers := workers
+	if sampleWorkers > samples {
+		sampleWorkers = samples
+	}
+	for w := 0; w < sampleWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := e.Clone()
+			for {
+				i := int(nextSample.Add(1)) - 1
+				if i >= samples {
+					return
+				}
+				c.SetFaults(sets[i])
+				res := Result{WorstFaults: graph.NewBitset(n)}
+				c.fold(&res)
+				per[i] = res
+			}
+		}()
+	}
+	wg.Wait()
+	for _, r := range per {
+		mergeOrdered(&merged, r)
+	}
+	if cfg.Greedy {
+		e.greedyParallel(f, &merged, workers)
+	}
+	return merged
+}
+
+// greedyParallel is the engine greedyAdversary with each round's
+// candidate probes spread over workers. Candidate verdicts are reduced
+// in node order with the sequential tie-breaking, so the grown fault
+// set (and hence the result) matches the serial adversary exactly.
+// The engine must start fault-free; it ends holding the grown set.
+func (e *Engine) greedyParallel(f int, res *Result, workers int) {
+	type verdict struct {
+		diam     int
+		disc     bool
+		measured bool // more than one alive node remained after the probe
+	}
+	n := e.n
+	verdicts := make([]verdict, n)
+	// Per-worker clones are created lazily and kept in sync with e
+	// across rounds (each chosen fault is a cheap incremental toggle),
+	// so the engine's mutable state is copied at most once per worker
+	// for the whole search rather than once per round.
+	clones := make([]*Engine, workers)
+	for round := 0; round < f; round++ {
+		for i := range verdicts {
+			verdicts[i] = verdict{}
+		}
+		var nextCand atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				var c *Engine // fetched only if this worker gets a candidate
+				for {
+					v := int(nextCand.Add(1)) - 1
+					if v >= n {
+						return
+					}
+					if e.HasFault(v) {
+						continue
+					}
+					if c == nil {
+						if clones[w] == nil {
+							clones[w] = e.Clone()
+						}
+						c = clones[w]
+					}
+					c.AddFault(v)
+					if c.AliveCount() > 1 {
+						diam, ok := c.Diameter()
+						verdicts[v] = verdict{diam: diam, disc: !ok, measured: true}
+					}
+					c.RemoveFault(v)
+				}
+			}(w)
+		}
+		wg.Wait()
+		bestV, bestDiam, bestDisc := -1, -1, false
+		for v := 0; v < n; v++ {
+			if e.HasFault(v) {
+				continue
+			}
+			res.Evaluated++
+			cand := verdicts[v]
+			if !cand.measured {
+				continue
+			}
+			if cand.disc && !bestDisc {
+				bestV, bestDiam, bestDisc = v, cand.diam, true
+			} else if !cand.disc && !bestDisc && cand.diam > bestDiam {
+				bestV, bestDiam = v, cand.diam
+			}
+		}
+		if bestV == -1 {
+			break
+		}
+		e.AddFault(bestV)
+		for _, c := range clones {
+			if c != nil {
+				c.AddFault(bestV)
+			}
+		}
+		if bestDisc {
+			if !res.Disconnected {
+				res.Disconnected = true
+				res.WorstFaults = e.Faults()
+			}
+			return
+		}
+		if !res.Disconnected && bestDiam > res.MaxDiameter {
+			res.MaxDiameter = bestDiam
+			res.WorstFaults = e.Faults()
+		}
+	}
+}
+
+// legacyExhaustiveParallel partitions the enumeration by first element
+// modulo workers over the rebuild-per-set path. Kept for Survivors that
+// cannot enumerate their routes; ties may report a different witness
+// fault set than the sequential search.
+func legacyExhaustiveParallel(s Survivor, f, workers int) Result {
 	n := s.Graph().N()
-	// Partition the enumeration by first element: worker w handles all
-	// fault sets whose smallest member v satisfies v % workers == w,
-	// plus (worker 0) the empty set.
 	results := make([]Result, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -37,7 +274,7 @@ func MaxDiameterParallel(s Survivor, f int, cfg Config, workers int) Result {
 			}
 			var rec func(start, left int)
 			rec = func(start, left int) {
-				if left == 0 {
+				if left <= 0 {
 					return
 				}
 				for v := start; v < n; v++ {
@@ -78,8 +315,27 @@ func MaxDiameterParallel(s Survivor, f int, cfg Config, workers int) Result {
 // target set of size at most f — usually far cheaper than full
 // enumeration — and folds in the all-targets prefix sets. This is the
 // adversary the paper's proofs defend against: faults concentrated on
-// the concentrator.
+// the concentrator. RouteSources are evaluated incrementally; each
+// probe toggles one target in the engine.
 func ConcentratorAdversary(s Survivor, f int, targets []int) Result {
+	if eng := engineFor(s); eng != nil {
+		res := Result{WorstFaults: graph.NewBitset(eng.N())}
+		eng.fold(&res)
+		var rec func(start, left int)
+		rec = func(start, left int) {
+			if left == 0 {
+				return
+			}
+			for i := start; i < len(targets); i++ {
+				eng.AddFault(targets[i])
+				eng.fold(&res)
+				rec(i+1, left-1)
+				eng.RemoveFault(targets[i])
+			}
+		}
+		rec(0, f)
+		return res
+	}
 	n := s.Graph().N()
 	res := Result{WorstFaults: graph.NewBitset(n)}
 	faults := graph.NewBitset(n)

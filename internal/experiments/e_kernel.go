@@ -44,10 +44,13 @@ func maxEval(s eval.Survivor, f int, exhaustiveBudget int) (int, string) {
 	var res eval.Result
 	method := "exhaustive"
 	if sets <= exhaustiveBudget {
-		res = eval.MaxDiameter(s, f, eval.Config{Mode: eval.Exhaustive})
+		// Workers = 0 means GOMAXPROCS; for engine-backed routings the
+		// parallel search is bit-for-bit identical to the serial one,
+		// so the tables are unaffected.
+		res = eval.MaxDiameterParallel(s, f, eval.Config{Mode: eval.Exhaustive}, 0)
 	} else {
 		method = "sampled+greedy"
-		res = eval.MaxDiameter(s, f, eval.Config{Mode: eval.Sampled, Samples: 200, Seed: 7, Greedy: true})
+		res = eval.MaxDiameterParallel(s, f, eval.Config{Mode: eval.Sampled, Samples: 200, Seed: 7, Greedy: true}, 0)
 	}
 	if res.Disconnected {
 		return -1, method

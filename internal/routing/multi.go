@@ -111,6 +111,17 @@ func (m *MultiRouting) Get(u, v int) []Path {
 // Pairs returns the number of ordered pairs with at least one route.
 func (m *MultiRouting) Pairs() int { return len(m.routes) }
 
+// EachRoute calls fn once per stored route; a pair with k parallel
+// routes produces k calls with the same (u, v). Iteration order is
+// unspecified. fn must not mutate the multirouting.
+func (m *MultiRouting) EachRoute(fn func(u, v int, p Path)) {
+	for k, ps := range m.routes {
+		for _, p := range ps {
+			fn(int(k.u), int(k.v), p)
+		}
+	}
+}
+
 // SurvivingGraph computes the surviving route graph: an arc u→v exists
 // when at least one route of the pair avoids the fault set.
 func (m *MultiRouting) SurvivingGraph(faults *graph.Bitset) *graph.Digraph {

@@ -181,6 +181,12 @@ func (r *Routing) Each(fn func(u, v int, p Path)) {
 	}
 }
 
+// EachRoute calls fn for every stored route, exactly once per route.
+// For a plain routing this is identical to Each; it exists so that
+// Routing and MultiRouting expose a uniform route-enumeration method
+// (eval's engine compiler consumes it). Iteration order is unspecified.
+func (r *Routing) EachRoute(fn func(u, v int, p Path)) { r.Each(fn) }
+
 // SymmetrizeMissing installs, for every ordered pair (u,v) that has a
 // route while (v,u) does not, the reversed path as the (v,u) route. This
 // is Component B-POL 5 of the paper's unidirectional bipolar routing.
