@@ -322,8 +322,80 @@ func BenchmarkExhaustiveEngineParallelCCC4F2(b *testing.B) {
 	}
 }
 
+// legacyMixedSurvivor hides EachRoute so mixed eval takes the
+// rebuild-per-set SurvivingGraphMixed path.
+type legacyMixedSurvivor struct {
+	r *Routing
+}
+
+func (l legacyMixedSurvivor) SurvivingGraph(f *graph.Bitset) *graph.Digraph {
+	return l.r.SurvivingGraph(f)
+}
+func (l legacyMixedSurvivor) SurvivingGraphMixed(f *graph.Bitset, e []EdgeFault) *graph.Digraph {
+	return l.r.SurvivingGraphMixed(f, e)
+}
+func (l legacyMixedSurvivor) Graph() *Graph { return l.r.Graph() }
+
+// BenchmarkEngineEdgeToggleCCC4 measures one incremental edge-fault
+// add+remove pair — the per-step cost of the mixed enumeration tree,
+// touching only the routes over the toggled link.
+func BenchmarkEngineEdgeToggleCCC4(b *testing.B) {
+	r := ccc4Circular(b)
+	edges := r.Graph().Edges()
+	eng := NewEvalEngine(r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := edges[i%len(edges)]
+		eng.AddEdgeFault(e[0], e[1])
+		eng.RemoveEdgeFault(e[0], e[1])
+	}
+}
+
+// BenchmarkExhaustiveMixedEngineCCC4F2 is the edge-fault headline:
+// exhaustive mixed f=2 on the anchor instance. The universe is 64 nodes
+// + 96 edges, so 1 + 160 + C(160,2) = 12881 mixed fault sets.
+func BenchmarkExhaustiveMixedEngineCCC4F2(b *testing.B) {
+	r := ccc4Circular(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := eval.MaxDiameterMixed(r, 2, eval.Config{Mode: eval.Exhaustive})
+		if res.Evaluated != 12881 {
+			b.Fatalf("evaluated %d", res.Evaluated)
+		}
+	}
+}
+
+// BenchmarkExhaustiveMixedLegacyCCC4F2 is the same mixed search forced
+// through the rebuild-per-set SurvivingGraphMixed+Diameter path.
+func BenchmarkExhaustiveMixedLegacyCCC4F2(b *testing.B) {
+	r := ccc4Circular(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := eval.MaxDiameterMixed(legacyMixedSurvivor{r: r}, 2, eval.Config{Mode: eval.Exhaustive})
+		if res.Evaluated != 12881 {
+			b.Fatalf("evaluated %d", res.Evaluated)
+		}
+	}
+}
+
+// BenchmarkExhaustiveMixedEngineParallelCCC4F2 adds work-stealing
+// engine clones over the n+m item universe.
+func BenchmarkExhaustiveMixedEngineParallelCCC4F2(b *testing.B) {
+	r := ccc4Circular(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := eval.MaxDiameterMixedParallel(r, 2, eval.Config{Mode: eval.Exhaustive}, 0)
+		if res.Evaluated != 12881 {
+			b.Fatalf("evaluated %d", res.Evaluated)
+		}
+	}
+}
+
 // BenchmarkE14EdgeFaults regenerates E14 (edge-fault extension).
 func BenchmarkE14EdgeFaults(b *testing.B) { benchExperiment(b, "E14") }
+
+// BenchmarkE18MixedEngine regenerates E18 (engine-backed mixed search).
+func BenchmarkE18MixedEngine(b *testing.B) { benchExperiment(b, "E18") }
 
 // BenchmarkE15NetsimDelivery regenerates E15 (simulated delivery).
 func BenchmarkE15NetsimDelivery(b *testing.B) { benchExperiment(b, "E15") }

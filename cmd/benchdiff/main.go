@@ -1,0 +1,161 @@
+// Command benchdiff compares `go test -bench` output against the
+// checked-in benchmark baseline (BENCH_eval.json) and fails when a
+// gated benchmark regresses beyond the allowed fraction. It is the
+// CI benchmark-regression gate:
+//
+//	go test -run '^$' -bench 'Exhaustive.*EngineCCC4F2' -benchtime 5x . |
+//	    go run ./cmd/benchdiff -baseline BENCH_eval.json \
+//	        -gate 'ExhaustiveEngineCCC4F2$' -max-regress 0.30
+//
+// Benchmarks present in the output but not in the baseline are
+// reported as new and never fail the gate; baselines not exercised by
+// the run are ignored. With an empty -gate the command only reports.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	var (
+		baselinePath = fs.String("baseline", "BENCH_eval.json", "baseline JSON file")
+		inputPath    = fs.String("input", "-", "bench output file ('-' = stdin)")
+		gateExpr     = fs.String("gate", "", "regexp of benchmark names that must not regress")
+		maxRegress   = fs.Float64("max-regress", 0.30, "maximum allowed fractional ns/op regression for gated benchmarks")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	baseline, err := loadBaseline(*baselinePath)
+	if err != nil {
+		return err
+	}
+	var raw []byte
+	if *inputPath == "-" {
+		raw, err = io.ReadAll(stdin)
+	} else {
+		raw, err = os.ReadFile(*inputPath)
+	}
+	if err != nil {
+		return err
+	}
+	current := parseBenchOutput(string(raw))
+	if len(current) == 0 {
+		return fmt.Errorf("no benchmark results found in input")
+	}
+	var gate *regexp.Regexp
+	if *gateExpr != "" {
+		gate, err = regexp.Compile(*gateExpr)
+		if err != nil {
+			return fmt.Errorf("bad -gate: %w", err)
+		}
+	}
+	report, failures, gated := compare(baseline, current, gate, *maxRegress)
+	fmt.Fprint(stdout, report)
+	if len(failures) > 0 {
+		return fmt.Errorf("benchmark regression gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	if gate != nil && gated == 0 {
+		// A gate that matches nothing guards nothing: catch a drifted
+		// -bench filter or a renamed benchmark instead of passing vacuously.
+		return fmt.Errorf("gate %q matched no benchmark present in both the run and the baseline", *gateExpr)
+	}
+	return nil
+}
+
+// baselineFile mirrors the BENCH_eval.json shape; only ns_per_op is
+// consumed here.
+type baselineFile struct {
+	Benchmarks map[string]struct {
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"benchmarks"`
+}
+
+func loadBaseline(path string) (map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f baselineFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	out := make(map[string]float64, len(f.Benchmarks))
+	for name, b := range f.Benchmarks {
+		out[name] = b.NsPerOp
+	}
+	return out, nil
+}
+
+// benchLine matches one `go test -bench` result line; the trailing
+// -N GOMAXPROCS suffix is stripped from the name.
+var benchLine = regexp.MustCompile(`(?m)^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBenchOutput extracts name -> ns/op from bench output. A
+// benchmark appearing more than once (e.g. -count > 1) keeps its
+// fastest run, the conventional noise-resistant choice.
+func parseBenchOutput(out string) map[string]float64 {
+	res := make(map[string]float64)
+	for _, m := range benchLine.FindAllStringSubmatch(out, -1) {
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		if old, ok := res[m[1]]; !ok || ns < old {
+			res[m[1]] = ns
+		}
+	}
+	return res
+}
+
+// compare renders a delta table (sorted by name), the gated benchmarks
+// whose regression exceeds maxRegress, and how many benchmarks the gate
+// actually covered (present in both the run and the baseline).
+func compare(baseline, current map[string]float64, gate *regexp.Regexp, maxRegress float64) (string, []string, int) {
+	names := make([]string, 0, len(current))
+	for name := range current {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	var failures []string
+	gated := 0
+	fmt.Fprintf(&b, "%-50s %15s %15s %9s\n", "benchmark", "baseline ns/op", "current ns/op", "delta")
+	for _, name := range names {
+		cur := current[name]
+		base, ok := baseline[name]
+		if !ok || base <= 0 {
+			fmt.Fprintf(&b, "%-50s %15s %15.0f %9s\n", name, "(new)", cur, "-")
+			continue
+		}
+		delta := (cur - base) / base
+		mark := ""
+		if gate != nil && gate.MatchString(name) {
+			gated++
+			mark = " [gated]"
+			if delta > maxRegress {
+				mark = " [FAIL]"
+				failures = append(failures, fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%, allowed %+.1f%%)",
+					name, base, cur, delta*100, maxRegress*100))
+			}
+		}
+		fmt.Fprintf(&b, "%-50s %15.0f %15.0f %+8.1f%%%s\n", name, base, cur, delta*100, mark)
+	}
+	return b.String(), failures, gated
+}

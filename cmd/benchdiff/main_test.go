@@ -1,0 +1,122 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: ftroute
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkExhaustiveEngineCCC4F2-8          79   14316550 ns/op   412835 B/op   106 allocs/op
+BenchmarkExhaustiveMixedEngineCCC4F2-8      2   83695805 ns/op
+BenchmarkBrandNew-8                       100    1234567 ns/op
+PASS
+ok  ftroute 15.672s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	res := parseBenchOutput(sampleOutput)
+	if len(res) != 3 {
+		t.Fatalf("parsed %d benchmarks: %v", len(res), res)
+	}
+	if res["BenchmarkExhaustiveEngineCCC4F2"] != 14316550 {
+		t.Fatalf("ns/op = %v", res["BenchmarkExhaustiveEngineCCC4F2"])
+	}
+	if res["BenchmarkBrandNew"] != 1234567 {
+		t.Fatalf("new bench parsed wrong: %v", res["BenchmarkBrandNew"])
+	}
+}
+
+func TestParseBenchOutputKeepsFastestOfRepeats(t *testing.T) {
+	out := "BenchmarkX-8 10 2000 ns/op\nBenchmarkX-8 10 1500 ns/op\nBenchmarkX-8 10 1800 ns/op\n"
+	res := parseBenchOutput(out)
+	if res["BenchmarkX"] != 1500 {
+		t.Fatalf("kept %v, want fastest 1500", res["BenchmarkX"])
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	baseline := map[string]float64{
+		"BenchmarkGated":   1000,
+		"BenchmarkUngated": 1000,
+	}
+	gate := regexp.MustCompile(`^BenchmarkGated$`)
+
+	// Within threshold: no failure, one benchmark covered by the gate.
+	_, failures, gated := compare(baseline, map[string]float64{"BenchmarkGated": 1200}, gate, 0.30)
+	if len(failures) != 0 || gated != 1 {
+		t.Fatalf("20%% regression should pass a 30%% gate: %v (gated %d)", failures, gated)
+	}
+	// Beyond threshold on a gated benchmark: fail.
+	report, failures, _ := compare(baseline, map[string]float64{"BenchmarkGated": 1500}, gate, 0.30)
+	if len(failures) != 1 || !strings.Contains(failures[0], "BenchmarkGated") {
+		t.Fatalf("50%% regression must fail the gate: %v", failures)
+	}
+	if !strings.Contains(report, "[FAIL]") {
+		t.Fatalf("report missing FAIL mark:\n%s", report)
+	}
+	// Beyond threshold on an ungated benchmark: report only, and the
+	// gate covered nothing.
+	_, failures, gated = compare(baseline, map[string]float64{"BenchmarkUngated": 9000}, gate, 0.30)
+	if len(failures) != 0 || gated != 0 {
+		t.Fatalf("ungated regression must not fail: %v (gated %d)", failures, gated)
+	}
+	// Improvements never fail.
+	_, failures, _ = compare(baseline, map[string]float64{"BenchmarkGated": 100}, gate, 0.30)
+	if len(failures) != 0 {
+		t.Fatalf("speedup must not fail: %v", failures)
+	}
+	// Unknown benchmarks are reported as new, never gated.
+	report, failures, gated = compare(baseline, map[string]float64{"BenchmarkGatedNew": 1}, regexp.MustCompile("."), 0.30)
+	if len(failures) != 0 || gated != 0 || !strings.Contains(report, "(new)") {
+		t.Fatalf("new benchmark handling wrong: %v (gated %d)\n%s", failures, gated, report)
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	if err := os.WriteFile(base, []byte(`{"benchmarks":{
+		"BenchmarkExhaustiveEngineCCC4F2":{"ns_per_op":14316550},
+		"BenchmarkExhaustiveMixedEngineCCC4F2":{"ns_per_op":83695805}}}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	err := run([]string{"-baseline", base, "-gate", "EngineCCC4F2$"},
+		strings.NewReader(sampleOutput), &out)
+	if err != nil {
+		t.Fatalf("matching run failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "BenchmarkBrandNew") || !strings.Contains(out.String(), "(new)") {
+		t.Fatalf("report missing new benchmark:\n%s", out.String())
+	}
+
+	// A 10x regression on a gated benchmark must fail.
+	regressed := strings.Replace(sampleOutput, "14316550 ns/op", "143165500 ns/op", 1)
+	out.Reset()
+	err = run([]string{"-baseline", base, "-gate", "EngineCCC4F2$"},
+		strings.NewReader(regressed), &out)
+	if err == nil || !strings.Contains(err.Error(), "regression gate failed") {
+		t.Fatalf("err = %v", err)
+	}
+
+	// Empty input is an error (a broken bench run must not pass CI).
+	if err := run([]string{"-baseline", base}, strings.NewReader("PASS\n"), &out); err == nil {
+		t.Fatal("empty bench output should fail")
+	}
+
+	// A gate that covers no benchmark present in both the run and the
+	// baseline must fail rather than pass vacuously (drifted -bench
+	// filter, renamed benchmark).
+	out.Reset()
+	err = run([]string{"-baseline", base, "-gate", "NoSuchBenchmark$"},
+		strings.NewReader(sampleOutput), &out)
+	if err == nil || !strings.Contains(err.Error(), "matched no benchmark") {
+		t.Fatalf("vacuous gate must fail: %v", err)
+	}
+}

@@ -6,7 +6,7 @@
 //	ftroute info  -graph <spec>
 //	ftroute plan  -graph <spec>
 //	ftroute route -graph <spec> [-construction auto|kernel|circular|tricircular|bipolar|bipolar-bi]
-//	ftroute tolerate -graph <spec> [-construction ...] [-faults k] [-samples n] [-exhaustive]
+//	ftroute tolerate -graph <spec> [-construction ...] [-faults k] [-samples n] [-exhaustive] [-mixed]
 //	ftroute simulate -graph <spec> [-construction ...] [-faults k] [-samples n]
 //	ftroute export   -graph <spec> [-construction ...] -table routing.json
 //	ftroute check    -graph <spec> -table routing.json -bound d [-faults k] [-exhaustive]
@@ -68,6 +68,7 @@ func run(args []string) error {
 		faults       = fs.Int("faults", -1, "fault budget (default: tolerance t)")
 		samples      = fs.Int("samples", 200, "random fault sets when not exhaustive")
 		exhaustive   = fs.Bool("exhaustive", false, "enumerate all fault sets (exponential)")
+		mixed        = fs.Bool("mixed", false, "tolerate: spend the fault budget on nodes and links combined (literal edge-fault semantics)")
 		table        = fs.String("table", "", "routing-table file for export/check")
 		bound        = fs.Int("bound", -1, "diameter bound to check (default: construction's bound)")
 	)
@@ -90,7 +91,7 @@ func run(args []string) error {
 		_, _, err := build(g, *construction)
 		return err
 	case "tolerate":
-		return tolerate(g, *construction, *faults, *samples, *exhaustive)
+		return tolerate(g, *construction, *faults, *samples, *exhaustive, *mixed)
 	case "simulate":
 		return simulate(g, *construction, *faults, *samples)
 	case "export":
@@ -411,7 +412,7 @@ func build(g *ftroute.Graph, construction string) (interface {
 	}
 }
 
-func tolerate(g *ftroute.Graph, construction string, faults, samples int, exhaustive bool) error {
+func tolerate(g *ftroute.Graph, construction string, faults, samples int, exhaustive, mixed bool) error {
 	r, bt, err := build(g, construction)
 	if err != nil {
 		return err
@@ -423,6 +424,22 @@ func tolerate(g *ftroute.Graph, construction string, faults, samples int, exhaus
 	cfg := ftroute.EvalConfig{Mode: ftroute.Sampled, Samples: samples, Greedy: true, Seed: 1}
 	if exhaustive {
 		cfg = ftroute.EvalConfig{Mode: ftroute.Exhaustive}
+	}
+	if mixed {
+		ms, ok := r.(ftroute.MixedSurvivor)
+		if !ok {
+			return fmt.Errorf("ftroute: %s routing does not support mixed node+edge faults", construction)
+		}
+		res := ftroute.MaxDiameterUnderMixedFaultsParallel(ms, f, cfg, 0)
+		fmt.Printf("worst case over mixed node+link fault sets of total size <= %d (bound %d for node faults <= %d):\n", f, bt[0], bt[1])
+		if res.Disconnected {
+			fmt.Printf("  disconnected by nodes %v, links %v (%d sets evaluated)\n",
+				res.WorstNodeFaults, res.WorstEdgeFaults, res.Evaluated)
+			return nil
+		}
+		fmt.Printf("  surviving diameter %d (worst nodes %v, links %v; %d sets evaluated)\n",
+			res.MaxDiameter, res.WorstNodeFaults, res.WorstEdgeFaults, res.Evaluated)
+		return nil
 	}
 	profile := ftroute.DiameterProfile(r, f, cfg)
 	fmt.Printf("worst-case surviving diameter by fault count (bound %d for f <= %d):\n", bt[0], bt[1])

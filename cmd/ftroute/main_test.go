@@ -100,6 +100,8 @@ func TestRunSubcommands(t *testing.T) {
 		{"route", "-graph", "cycle:9", "-construction", "shortest"},
 		{"tolerate", "-graph", "cycle:9", "-construction", "circular", "-exhaustive"},
 		{"tolerate", "-graph", "cycle:12", "-construction", "auto", "-samples", "20"},
+		{"tolerate", "-graph", "cycle:9", "-construction", "circular", "-exhaustive", "-mixed"},
+		{"tolerate", "-graph", "cycle:12", "-construction", "circular", "-mixed", "-faults", "2", "-samples", "20"},
 		{"simulate", "-graph", "cycle:12", "-construction", "kernel", "-samples", "30"},
 	}
 	for _, args := range cases {

@@ -167,6 +167,11 @@ type (
 	// what unlocks the incremental engine (Routing and MultiRouting both
 	// qualify).
 	RouteSource = eval.RouteSource
+	// MixedSurvivor is a Survivor that can materialize the literal mixed
+	// (node ∪ edge) surviving graph; Routing and MultiRouting qualify.
+	MixedSurvivor = eval.MixedSurvivor
+	// MixedResult reports the worst case found over mixed fault sets.
+	MixedResult = eval.MixedResult
 )
 
 // Evaluation modes.
@@ -196,6 +201,18 @@ var (
 	DiameterProfile = eval.Profile
 	// NewEvalEngine compiles a routing into an incremental engine.
 	NewEvalEngine = eval.NewEngine
+	// MaxDiameterUnderMixedFaults searches mixed node∪edge fault sets of
+	// total size ≤ f under the literal edge-fault semantics.
+	MaxDiameterUnderMixedFaults = eval.MaxDiameterMixed
+	// MaxDiameterUnderMixedFaultsParallel fans the mixed search over
+	// worker goroutines on per-worker engine clones.
+	MaxDiameterUnderMixedFaultsParallel = eval.MaxDiameterMixedParallel
+	// GreedyEdgeAdversary grows a pure link-failure fault set one edge
+	// at a time, always cutting the most damaging wire.
+	GreedyEdgeAdversary = eval.GreedyEdgeAdversary
+	// ConcentratorEdgeAdversary enumerates fault sets drawn from a
+	// target link set (typically the concentrator's incident edges).
+	ConcentratorEdgeAdversary = eval.ConcentratorEdgeAdversary
 )
 
 // Forwarding-table compilation and edge-fault handling.
@@ -225,6 +242,11 @@ type (
 // diameter) inside each connected component of G−F — the "well behaved"
 // criterion of the paper's Open Problem 3.
 var BeyondTolerance = eval.BeyondTolerance
+
+// BeyondToleranceMixed is BeyondTolerance over mixed node∪edge fault
+// sets under the literal link-failure semantics: faulty links cut both
+// their routes and the graph edges defining the components of G−F.
+var BeyondToleranceMixed = eval.BeyondToleranceMixed
 
 // DecodeRoutingTable reconstructs a routing from its JSON encoding
 // (Routing.WriteTo / MarshalJSON), re-validating every path against g.

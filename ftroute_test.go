@@ -143,3 +143,41 @@ func TestFacadeEvalEngine(t *testing.T) {
 		t.Fatalf("concentrator adversary evaluated %d sets, want 3", conc.Evaluated)
 	}
 }
+
+func TestFacadeMixedFaults(t *testing.T) {
+	g, err := Cycle(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _, err := Circular(g, Options{Tolerance: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ MixedSurvivor = r // Routing satisfies the mixed interface
+
+	// Literal link failure: the direct route over a dead edge dies, the
+	// rest of the routing survives.
+	d := r.SurvivingGraphMixed(nil, []EdgeFault{{U: 0, V: 1}})
+	if d.HasArc(0, 1) {
+		t.Fatal("route over the failed link must die")
+	}
+
+	seq := MaxDiameterUnderMixedFaults(r, 1, EvalConfig{Mode: Exhaustive})
+	par := MaxDiameterUnderMixedFaultsParallel(r, 1, EvalConfig{Mode: Exhaustive}, 4)
+	if seq.MaxDiameter != par.MaxDiameter || seq.Evaluated != par.Evaluated {
+		t.Fatalf("parallel %v != sequential %v", par, seq)
+	}
+	// Universe is 9 nodes + 9 edges: 1 + 18 singleton sets.
+	if seq.Evaluated != 19 {
+		t.Fatalf("evaluated %d sets, want 19", seq.Evaluated)
+	}
+
+	adv := GreedyEdgeAdversary(r, 1)
+	if adv.WorstNodeFaults.Count() != 0 {
+		t.Fatalf("edge adversary must not fail nodes: %v", adv.WorstNodeFaults)
+	}
+	conc := ConcentratorEdgeAdversary(r, 1, []EdgeFault{{U: 0, V: 1}, {U: 1, V: 2}})
+	if conc.Evaluated != 3 {
+		t.Fatalf("concentrator edge adversary evaluated %d sets, want 3", conc.Evaluated)
+	}
+}

@@ -2,6 +2,7 @@ package eval
 
 import (
 	"ftroute/internal/graph"
+	"ftroute/internal/routing"
 )
 
 // This file addresses the paper's Open Problem 3 empirically: "Suppose
@@ -15,7 +16,10 @@ import (
 // beyond tolerance is therefore *componentwise*: within each component
 // of G−F, how far apart can two nodes be in the surviving route graph,
 // and do components ever shatter (route-graph disconnection inside a
-// graph-connected component)?
+// graph-connected component)? BeyondToleranceMixed extends the question
+// to the literal mixed model, where faulty edges cut both the routes
+// over them and the graph edges themselves, so G−F is G minus the
+// faulty nodes and minus the faulty links.
 
 // BeyondResult summarizes behavior at a fault count beyond (or at) the
 // designed tolerance.
@@ -33,14 +37,15 @@ type BeyondResult struct {
 	// WorstFaults witnesses either the first shattering or the worst
 	// componentwise diameter.
 	WorstFaults *graph.Bitset
+	// WorstEdgeFaults is the edge part of the witness for the mixed
+	// model (BeyondToleranceMixed); nil for node-only searches.
+	WorstEdgeFaults []routing.EdgeFault
 }
 
-// componentwise measures one fault set via the legacy rebuild path;
-// returns (worst component diameter, shattered).
-func componentwise(s Survivor, faults *graph.Bitset) (int, bool) {
-	g := s.Graph()
-	d := s.SurvivingGraph(faults)
-	comps := g.ConnectedComponents(faults)
+// componentwiseDigraph walks comps over a materialized surviving graph;
+// returns (worst component diameter, shattered). Shared by the legacy
+// node-only and mixed paths.
+func componentwiseDigraph(d *graph.Digraph, comps [][]int) (int, bool) {
 	worst := 0
 	shattered := false
 	for _, comp := range comps {
@@ -66,11 +71,16 @@ func componentwise(s Survivor, faults *graph.Bitset) (int, bool) {
 	return worst, shattered
 }
 
-// componentwise is the engine-backed equivalent: surviving-route-graph
-// distances come from the incrementally maintained bitrows instead of a
-// rebuilt Digraph. dist is caller-provided scratch of length >= N.
-func (e *Engine) componentwise(g *graph.Graph, faults *graph.Bitset, dist []int) (int, bool) {
-	comps := g.ConnectedComponents(faults)
+// componentwise measures one fault set via the legacy rebuild path.
+func componentwise(s Survivor, faults *graph.Bitset) (int, bool) {
+	return componentwiseDigraph(s.SurvivingGraph(faults), s.Graph().ConnectedComponents(faults))
+}
+
+// componentwiseComps is the engine-backed equivalent over
+// caller-provided components: surviving-route-graph distances come from
+// the incrementally maintained bitrows instead of a rebuilt Digraph.
+// dist is caller-provided scratch of length >= N.
+func (e *Engine) componentwiseComps(comps [][]int, dist []int) (int, bool) {
 	worst := 0
 	shattered := false
 	for _, comp := range comps {
@@ -119,7 +129,7 @@ func BeyondTolerance(s Survivor, f int) BeyondResult {
 		var worst int
 		var shattered bool
 		if eng != nil {
-			worst, shattered = eng.componentwise(g, faults, dist)
+			worst, shattered = eng.componentwiseComps(g.ConnectedComponents(faults), dist)
 		} else {
 			worst, shattered = componentwise(s, faults)
 		}
@@ -155,6 +165,138 @@ func BeyondTolerance(s Survivor, f int) BeyondResult {
 			faults.Remove(v)
 			if eng != nil {
 				eng.RemoveFault(v)
+			}
+		}
+	}
+	rec(0, f)
+	return res
+}
+
+// mixedComponents returns the connected components of G minus the
+// faulty nodes and minus the faulty links, each sorted increasingly,
+// ordered by smallest member (the mixed-model G−F of Open Problem 3).
+func mixedComponents(g *graph.Graph, nf *graph.Bitset, ef []routing.EdgeFault) [][]int {
+	if len(ef) == 0 {
+		return g.ConnectedComponents(nf)
+	}
+	bad := make(map[routing.EdgeFault]bool, len(ef))
+	for _, e := range ef {
+		bad[e.Normalize()] = true
+	}
+	n := g.N()
+	seen := graph.NewBitset(n)
+	var comps [][]int
+	for s := 0; s < n; s++ {
+		if seen.Has(s) || nf.Has(s) {
+			continue
+		}
+		comp := []int{}
+		queue := []int{s}
+		seen.Add(s)
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			comp = append(comp, u)
+			g.EachNeighbor(u, func(v int) bool {
+				if !seen.Has(v) && !nf.Has(v) && !bad[(routing.EdgeFault{U: u, V: v}).Normalize()] {
+					seen.Add(v)
+					queue = append(queue, v)
+				}
+				return true
+			})
+		}
+		insertionSortInts(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// insertionSortInts sorts the small per-component node slices.
+func insertionSortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}
+
+// BeyondToleranceMixed evaluates every mixed fault set of total size
+// exactly f over the n+m item universe (nodes first, then the graph's
+// edges in lexicographic order) and reports componentwise behavior
+// under the literal mixed model: a faulty link disappears from both the
+// routing (routes over it die) and the network graph (components are
+// those of G minus faulty nodes and links). RouteSources are walked
+// incrementally, one engine toggle per enumeration step; others go
+// through the rebuild-per-set SurvivingGraphMixed path, bit for bit
+// equivalently.
+func BeyondToleranceMixed(s MixedSurvivor, f int) BeyondResult {
+	g := s.Graph()
+	n := g.N()
+	edges := g.Edges()
+	res := BeyondResult{WorstFaults: graph.NewBitset(n)}
+	eng := engineFor(s)
+	var dist []int
+	if eng != nil {
+		dist = make([]int, n)
+	}
+	nf := graph.NewBitset(n)
+	var ef []routing.EdgeFault
+	firstShatter := true
+	leaf := func() {
+		res.Evaluated++
+		comps := mixedComponents(g, nf, ef)
+		if len(comps) <= 1 {
+			res.GraphConnected++
+		}
+		var worst int
+		var shattered bool
+		if eng != nil {
+			worst, shattered = eng.componentwiseComps(comps, dist)
+		} else {
+			worst, shattered = componentwiseDigraph(s.SurvivingGraphMixed(nf, ef), comps)
+		}
+		if shattered {
+			res.Shattered++
+			if firstShatter {
+				res.WorstFaults = nf.Clone()
+				res.WorstEdgeFaults = sortedEdgeFaults(ef)
+				firstShatter = false
+			}
+		}
+		if worst > res.WorstComponentDiameter {
+			res.WorstComponentDiameter = worst
+			if firstShatter {
+				res.WorstFaults = nf.Clone()
+				res.WorstEdgeFaults = sortedEdgeFaults(ef)
+			}
+		}
+	}
+	var rec func(start, left int)
+	rec = func(start, left int) {
+		if left == 0 {
+			leaf()
+			return
+		}
+		if n+len(edges)-start < left {
+			return
+		}
+		for v := start; v < n+len(edges); v++ {
+			if v < n {
+				nf.Add(v)
+			} else {
+				ed := edges[v-n]
+				ef = append(ef, routing.EdgeFault{U: ed[0], V: ed[1]})
+			}
+			if eng != nil {
+				eng.toggleItem(v, edges, true)
+			}
+			rec(v+1, left-1)
+			if v < n {
+				nf.Remove(v)
+			} else {
+				ef = ef[:len(ef)-1]
+			}
+			if eng != nil {
+				eng.toggleItem(v, edges, false)
 			}
 		}
 	}

@@ -18,23 +18,28 @@ type RouteSource interface {
 
 // Engine evaluates surviving route graphs incrementally. It compiles a
 // routing once into flat arrays and then maintains R(G,ρ)/F under
-// single-node fault additions and removals, which is the access pattern
-// of every fault-set search in this package (the exhaustive enumeration
-// tree, the greedy adversary and the concentrator adversary all differ
-// from their previous fault set by one node).
+// single node- and edge-fault additions and removals, which is the
+// access pattern of every fault-set search in this package (the
+// exhaustive enumeration trees, the greedy adversaries and the
+// concentrator adversaries all differ from their previous fault set by
+// one node or one link).
 //
 // Compiled (immutable, shared between clones):
 //
 //   - an inverted index node → routes traversing it (CSR int32 arrays),
 //     so a fault toggle touches only the routes it actually lies on
 //     rather than re-scanning all n² routes;
+//   - an inverted index edge → routes traversing it, over normalized
+//     undirected edge ids (the graph's Edges() order), so an edge-fault
+//     toggle is likewise proportional to the routes using the link;
 //   - per-route → pair and per-pair route-count tables: an arc (u,v) of
 //     the surviving graph is alive while at least one of the pair's
-//     routes has zero faulty nodes.
+//     routes has zero faults (node or edge) on it.
 //
 // Mutable per-instance state:
 //
-//   - hits[r]: number of current faults on route r;
+//   - hits[r]: number of current faults on route r — faulty nodes the
+//     route contains plus faulty edges it traverses;
 //   - deadRoutes[p]: number of the pair's routes with hits > 0;
 //   - adj: the live surviving graph as n rows of ⌈n/64⌉ uint64 words
 //     (bit v of row u set iff arc u→v survives). Because every route
@@ -52,27 +57,34 @@ type Engine struct {
 	words int
 
 	// Compiled form, shared (read-only) between clones.
-	pairU, pairV []int32 // pair id -> arc endpoints
-	pairRoutes   []int32 // pair id -> number of parallel routes
-	routePair    []int32 // route id -> pair id
-	idxOff       []int32 // node -> offset into idxRoutes (len n+1)
-	idxRoutes    []int32 // concatenated route ids per node
+	pairU, pairV []int32         // pair id -> arc endpoints
+	pairRoutes   []int32         // pair id -> number of parallel routes
+	routePair    []int32         // route id -> pair id
+	idxOff       []int32         // node -> offset into idxRoutes (len n+1)
+	idxRoutes    []int32         // concatenated route ids per node
+	edgeU, edgeV []int32         // edge id -> endpoints (u < v), Edges() order
+	edgeID       map[int64]int32 // normalized u<<32|v -> edge id
+	eIdxOff      []int32         // edge -> offset into eIdxRoutes (len m+1)
+	eIdxRoutes   []int32         // concatenated route ids per edge
 
 	// Mutable fault state.
-	hits       []int32 // route id -> faults currently on the route
-	deadRoutes []int32 // pair id -> routes with hits > 0
-	adj        []uint64
-	faults     *graph.Bitset
-	aliveCount int
+	hits            []int32 // route id -> faults (node+edge) currently on the route
+	deadRoutes      []int32 // pair id -> routes with hits > 0
+	deadRoutesTotal int     // routes with hits > 0, across all pairs
+	adj             []uint64
+	faults          *graph.Bitset
+	efaults         *graph.Bitset // faulty edge ids
+	aliveCount      int
 
 	// BFS scratch, reused across calls.
-	visited, cur, next []uint64
+	visited, cur, next, mask []uint64
 }
 
 // NewEngine compiles src into an incremental evaluation engine with an
 // empty fault set.
 func NewEngine(src RouteSource) *Engine {
-	n := src.Graph().N()
+	g := src.Graph()
+	n := g.N()
 	words := (n + 63) / 64
 	e := &Engine{
 		n:          n,
@@ -84,10 +96,23 @@ func NewEngine(src RouteSource) *Engine {
 		visited:    make([]uint64, words),
 		cur:        make([]uint64, words),
 		next:       make([]uint64, words),
+		mask:       make([]uint64, words),
 	}
+	edges := g.Edges()
+	e.edgeID = make(map[int64]int32, len(edges))
+	e.edgeU = make([]int32, len(edges))
+	e.edgeV = make([]int32, len(edges))
+	for id, ed := range edges {
+		e.edgeU[id], e.edgeV[id] = int32(ed[0]), int32(ed[1])
+		e.edgeID[edgeKey(ed[0], ed[1])] = int32(id)
+	}
+	e.efaults = graph.NewBitset(len(edges))
+	e.eIdxOff = make([]int32, len(edges)+1)
 	pairID := make(map[pairKey]int32)
 	nodeCounts := make([]int32, n)
-	// Pass 1: assign pair and route ids, count index entries per node.
+	edgeCounts := make([]int32, len(edges))
+	// Pass 1: assign pair and route ids, count index entries per node
+	// and per traversed edge.
 	type flatRoute struct {
 		pair  int32
 		nodes []int
@@ -110,6 +135,11 @@ func NewEngine(src RouteSource) *Engine {
 		for _, w := range p {
 			nodeCounts[w]++
 		}
+		for i := 0; i+1 < len(p); i++ {
+			if eid, ok := e.edgeID[edgeKey(p[i], p[i+1])]; ok {
+				edgeCounts[eid]++
+			}
+		}
 	})
 	for v := 0; v < n; v++ {
 		e.idxOff[v+1] = e.idxOff[v] + nodeCounts[v]
@@ -117,15 +147,35 @@ func NewEngine(src RouteSource) *Engine {
 	e.idxRoutes = make([]int32, e.idxOff[n])
 	fill := make([]int32, n)
 	copy(fill, e.idxOff[:n])
+	for ed := range edges {
+		e.eIdxOff[ed+1] = e.eIdxOff[ed] + edgeCounts[ed]
+	}
+	e.eIdxRoutes = make([]int32, e.eIdxOff[len(edges)])
+	eFill := make([]int32, len(edges))
+	copy(eFill, e.eIdxOff[:len(edges)])
 	for r, fr := range routes {
 		for _, w := range fr.nodes {
 			e.idxRoutes[fill[w]] = int32(r)
 			fill[w]++
 		}
+		for i := 0; i+1 < len(fr.nodes); i++ {
+			if eid, ok := e.edgeID[edgeKey(fr.nodes[i], fr.nodes[i+1])]; ok {
+				e.eIdxRoutes[eFill[eid]] = int32(r)
+				eFill[eid]++
+			}
+		}
 	}
 	e.hits = make([]int32, len(e.routePair))
 	e.deadRoutes = make([]int32, len(e.pairU))
 	return e
+}
+
+// edgeKey packs a normalized undirected edge into a map key.
+func edgeKey(u, v int) int64 {
+	if u > v {
+		u, v = v, u
+	}
+	return int64(u)<<32 | int64(v)
 }
 
 // pairKey is shared with package routing's map key shape.
@@ -140,9 +190,11 @@ func (e *Engine) Clone() *Engine {
 	c.deadRoutes = append([]int32(nil), e.deadRoutes...)
 	c.adj = append([]uint64(nil), e.adj...)
 	c.faults = e.faults.Clone()
+	c.efaults = e.efaults.Clone()
 	c.visited = make([]uint64, e.words)
 	c.cur = make([]uint64, e.words)
 	c.next = make([]uint64, e.words)
+	c.mask = make([]uint64, e.words)
 	return &c
 }
 
@@ -158,6 +210,36 @@ func (e *Engine) Faults() *graph.Bitset { return e.faults.Clone() }
 // HasFault reports whether v is currently faulty.
 func (e *Engine) HasFault(v int) bool { return e.faults.Has(v) }
 
+// hitRoute records one more fault on route r, killing the pair's arc
+// when its last live route dies.
+func (e *Engine) hitRoute(r int32) {
+	e.hits[r]++
+	if e.hits[r] == 1 {
+		e.deadRoutesTotal++
+		p := e.routePair[r]
+		e.deadRoutes[p]++
+		if e.deadRoutes[p] == e.pairRoutes[p] {
+			u, w := e.pairU[p], e.pairV[p]
+			e.adj[int(u)*e.words+int(w)>>6] &^= 1 << (uint(w) & 63)
+		}
+	}
+}
+
+// unhitRoute removes one fault from route r, reviving the pair's arc
+// when the route becomes the pair's first live one again.
+func (e *Engine) unhitRoute(r int32) {
+	e.hits[r]--
+	if e.hits[r] == 0 {
+		e.deadRoutesTotal--
+		p := e.routePair[r]
+		e.deadRoutes[p]--
+		if e.deadRoutes[p] == e.pairRoutes[p]-1 {
+			u, w := e.pairU[p], e.pairV[p]
+			e.adj[int(u)*e.words+int(w)>>6] |= 1 << (uint(w) & 63)
+		}
+	}
+}
+
 // AddFault marks v faulty, incrementally killing every surviving arc
 // whose last live route traverses v. Adding an already-faulty or
 // out-of-range node is a no-op. Cost is proportional to the number of
@@ -169,15 +251,7 @@ func (e *Engine) AddFault(v int) {
 	e.faults.Add(v)
 	e.aliveCount--
 	for _, r := range e.idxRoutes[e.idxOff[v]:e.idxOff[v+1]] {
-		e.hits[r]++
-		if e.hits[r] == 1 {
-			p := e.routePair[r]
-			e.deadRoutes[p]++
-			if e.deadRoutes[p] == e.pairRoutes[p] {
-				u, w := e.pairU[p], e.pairV[p]
-				e.adj[int(u)*e.words+int(w)>>6] &^= 1 << (uint(w) & 63)
-			}
-		}
+		e.hitRoute(r)
 	}
 }
 
@@ -190,27 +264,90 @@ func (e *Engine) RemoveFault(v int) {
 	e.faults.Remove(v)
 	e.aliveCount++
 	for _, r := range e.idxRoutes[e.idxOff[v]:e.idxOff[v+1]] {
-		e.hits[r]--
-		if e.hits[r] == 0 {
-			p := e.routePair[r]
-			e.deadRoutes[p]--
-			if e.deadRoutes[p] == e.pairRoutes[p]-1 {
-				u, w := e.pairU[p], e.pairV[p]
-				e.adj[int(u)*e.words+int(w)>>6] |= 1 << (uint(w) & 63)
-			}
-		}
+		e.unhitRoute(r)
 	}
 }
 
-// Reset removes all faults.
+// AddEdgeFault marks the undirected link {u, v} faulty, incrementally
+// killing every surviving arc whose last live route traverses the edge.
+// Endpoint order is irrelevant. Self-loops, already-faulty edges and
+// pairs that are not edges of the underlying graph are no-ops (no route
+// can traverse them, matching SurvivingGraphMixed's literal semantics).
+// Edge faults never change the alive node count. Cost is proportional
+// to the number of routes over the edge.
+func (e *Engine) AddEdgeFault(u, v int) {
+	id, ok := e.edgeIDOf(u, v)
+	if !ok || e.efaults.Has(id) {
+		return
+	}
+	e.efaults.Add(id)
+	for _, r := range e.eIdxRoutes[e.eIdxOff[id]:e.eIdxOff[id+1]] {
+		e.hitRoute(r)
+	}
+}
+
+// RemoveEdgeFault unmarks the link {u, v}, reviving every arc that
+// regains a live route. Removing a non-faulty edge is a no-op.
+func (e *Engine) RemoveEdgeFault(u, v int) {
+	id, ok := e.edgeIDOf(u, v)
+	if !ok || !e.efaults.Has(id) {
+		return
+	}
+	e.efaults.Remove(id)
+	for _, r := range e.eIdxRoutes[e.eIdxOff[id]:e.eIdxOff[id+1]] {
+		e.unhitRoute(r)
+	}
+}
+
+// edgeIDOf resolves the normalized edge id of {u, v}, reporting false
+// for self-loops and non-edges.
+func (e *Engine) edgeIDOf(u, v int) (int, bool) {
+	if u == v || u < 0 || v < 0 || u >= e.n || v >= e.n {
+		return 0, false
+	}
+	id, ok := e.edgeID[edgeKey(u, v)]
+	return int(id), ok
+}
+
+// HasEdgeFault reports whether the link {u, v} is currently faulty.
+func (e *Engine) HasEdgeFault(u, v int) bool {
+	id, ok := e.edgeIDOf(u, v)
+	return ok && e.efaults.Has(id)
+}
+
+// EdgeFaults returns the current edge-fault set as normalized
+// (U < V) faults in the graph's lexicographic edge order.
+func (e *Engine) EdgeFaults() []routing.EdgeFault {
+	ids := e.efaults.Elements()
+	out := make([]routing.EdgeFault, len(ids))
+	for i, id := range ids {
+		out[i] = routing.EdgeFault{U: int(e.edgeU[id]), V: int(e.edgeV[id])}
+	}
+	return out
+}
+
+// EdgeFaultCount returns the number of faulty edges.
+func (e *Engine) EdgeFaultCount() int { return e.efaults.Count() }
+
+// DeadRouteCount returns the number of routes with at least one fault
+// (node or edge) on them. It is the engine's measure of how much damage
+// the current fault set does to the routing, independent of which arcs
+// happen to survive via parallel routes.
+func (e *Engine) DeadRouteCount() int { return e.deadRoutesTotal }
+
+// Reset removes all node and edge faults.
 func (e *Engine) Reset() {
 	for _, v := range e.faults.Elements() {
 		e.RemoveFault(v)
 	}
+	for _, id := range e.efaults.Elements() {
+		e.RemoveEdgeFault(int(e.edgeU[id]), int(e.edgeV[id]))
+	}
 }
 
-// SetFaults replaces the current fault set with b (nil means empty),
-// applying only the symmetric difference incrementally.
+// SetFaults replaces the current node-fault set with b (nil means
+// empty), applying only the symmetric difference incrementally. Edge
+// faults are left untouched.
 func (e *Engine) SetFaults(b *graph.Bitset) {
 	for _, v := range e.faults.Elements() {
 		if !b.Has(v) {
@@ -225,12 +362,43 @@ func (e *Engine) SetFaults(b *graph.Bitset) {
 	}
 }
 
+// SetMixedFaults replaces both fault sets (nil/empty mean empty),
+// applying only the differences incrementally. Unknown or self-loop
+// edges in the list are ignored.
+func (e *Engine) SetMixedFaults(nodes *graph.Bitset, edges []routing.EdgeFault) {
+	e.SetFaults(nodes)
+	want := graph.NewBitset(len(e.edgeU))
+	for _, ef := range edges {
+		if id, ok := e.edgeIDOf(ef.U, ef.V); ok {
+			want.Add(id)
+		}
+	}
+	for _, id := range e.efaults.Elements() {
+		if !want.Has(id) {
+			e.RemoveEdgeFault(int(e.edgeU[id]), int(e.edgeV[id]))
+		}
+	}
+	for _, id := range want.Elements() {
+		if !e.efaults.Has(id) {
+			e.AddEdgeFault(int(e.edgeU[id]), int(e.edgeV[id]))
+		}
+	}
+}
+
 // eccentricity runs a word-parallel BFS from src over the live
 // adjacency bitrows. It returns the number of levels needed to reach
 // every alive node, or (0, false) if some alive node is unreachable.
 // With bound >= 0 it gives up as soon as the eccentricity is known to
 // exceed bound (returning false); bound < 0 means unbounded.
 func (e *Engine) eccentricity(src, bound int) (int, bool) {
+	return e.eccentricityMasked(src, bound, nil, e.aliveCount)
+}
+
+// eccentricityMasked is eccentricity restricted to the nodes whose mask
+// bit is set (nil mask means all nodes): masked-out nodes are neither
+// reached nor expanded, so they cannot serve as relays, and target is
+// the number of mask-allowed alive nodes that must be covered.
+func (e *Engine) eccentricityMasked(src, bound int, mask []uint64, target int) (int, bool) {
 	words := e.words
 	visited, cur, next := e.visited, e.cur, e.next
 	for i := range visited {
@@ -241,7 +409,7 @@ func (e *Engine) eccentricity(src, bound int) (int, bool) {
 	cur[src>>6] = visited[src>>6]
 	covered := 1
 	ecc := 0
-	for covered < e.aliveCount {
+	for covered < target {
 		if bound >= 0 && ecc == bound {
 			return 0, false
 		}
@@ -263,6 +431,9 @@ func (e *Engine) eccentricity(src, bound int) (int, bool) {
 		fresh := 0
 		for i := range next {
 			nw := next[i] &^ visited[i]
+			if mask != nil {
+				nw &= mask[i]
+			}
 			next[i] = nw
 			visited[i] |= nw
 			fresh += bits.OnesCount64(nw)
@@ -288,6 +459,47 @@ func (e *Engine) Diameter() (int, bool) {
 			continue
 		}
 		ecc, ok := e.eccentricity(u, -1)
+		if !ok {
+			return 0, false
+		}
+		if ecc > diam {
+			diam = ecc
+		}
+	}
+	return diam, true
+}
+
+// DiameterExcluding returns the diameter of the current surviving route
+// graph restricted to the alive nodes outside excluded: excluded nodes
+// are not sources, destinations or relays, exactly as if they were
+// disabled in a materialized Digraph — but without losing the routes
+// that pass through them. It returns (0, false) when some included node
+// cannot reach another included one. This is the measurement the
+// paper's edge-fault reduction asks for: literal mixed-fault arcs,
+// diameter over the nodes alive under the endpoint mapping.
+func (e *Engine) DiameterExcluding(excluded *graph.Bitset) (int, bool) {
+	if excluded == nil || excluded.Count() == 0 {
+		return e.Diameter()
+	}
+	for i := range e.mask {
+		e.mask[i] = ^uint64(0)
+	}
+	target := e.aliveCount
+	for _, v := range excluded.Elements() {
+		if v >= e.n {
+			continue
+		}
+		e.mask[v>>6] &^= 1 << (uint(v) & 63)
+		if !e.faults.Has(v) {
+			target--
+		}
+	}
+	diam := 0
+	for u := 0; u < e.n; u++ {
+		if e.faults.Has(u) || excluded.Has(u) {
+			continue
+		}
+		ecc, ok := e.eccentricityMasked(u, -1, e.mask, target)
 		if !ok {
 			return 0, false
 		}

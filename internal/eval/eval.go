@@ -26,6 +26,24 @@
 // *routing.MultiRouting — and produces bit-for-bit identical results
 // to the legacy SurvivingGraph+Diameter path, which is retained as a
 // compatibility fallback for custom Survivor implementations.
+//
+// # Mixed fault model
+//
+// The paper reduces edge faults to node faults by declaring one
+// endpoint of a failed link faulty (Section 1). The engine also
+// implements the literal mixed model directly: AddEdgeFault and
+// RemoveEdgeFault toggle undirected link failures through an inverted
+// edge→routes index, sharing the per-route fault counters with node
+// faults, so a route dies iff it contains a faulty node or traverses a
+// faulty edge. On top of that sit mixed-fault searches over the
+// combined universe of n nodes and m edges: MaxDiameterMixed
+// (exhaustive and sampled), MaxDiameterMixedParallel (per-worker
+// clones, work stealing over enumeration prefixes), GreedyEdgeAdversary
+// (the pure link-cutting adversary), ConcentratorEdgeAdversary (subsets
+// of a target link set) and BeyondToleranceMixed (Open Problem 3 with
+// link cuts shaping the components of G−F). Each is bit-for-bit
+// equivalent to the rebuild-per-set SurvivingGraphMixed reference,
+// which MixedSurvivor values retain as a fallback.
 package eval
 
 import (
@@ -171,6 +189,14 @@ func (e *Engine) descend(start, left int, res *Result) {
 // set cannot contain more than n distinct nodes, and without the clamp
 // the rejection-style draw below could never reach its target size.
 func sampled(s Survivor, f int, cfg Config) Result {
+	return sampledWith(s, engineFor(s), f, cfg)
+}
+
+// sampledWith is sampled over a caller-provided engine (nil forces the
+// legacy path), so that Profile can compile the engine once and reuse
+// it across fault counts. The engine must be fault-free on entry and is
+// left fault-free on return.
+func sampledWith(s Survivor, eng *Engine, f int, cfg Config) Result {
 	n := s.Graph().N()
 	if f > n {
 		f = n
@@ -183,7 +209,6 @@ func sampled(s Survivor, f int, cfg Config) Result {
 		samples = 200
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	eng := engineFor(s)
 	res := Result{WorstFaults: graph.NewBitset(n)}
 	if eng != nil {
 		eng.fold(&res) // empty set
@@ -205,6 +230,7 @@ func sampled(s Survivor, f int, cfg Config) Result {
 	if cfg.Greedy {
 		if eng != nil {
 			eng.greedyAdversary(f, &res)
+			eng.Reset() // the adversary leaves the grown set behind
 		} else {
 			greedyAdversary(s, f, &res)
 		}
@@ -375,10 +401,7 @@ func (e *Engine) checkTolerance(d, f int) error {
 // shape of the per-fault-count tables in EXPERIMENTS.md.
 func Profile(s Survivor, f int, cfg Config) []int {
 	out := make([]int, f+1)
-	var eng *Engine
-	if cfg.Mode == Exhaustive {
-		eng = engineFor(s) // the Sampled branch compiles its own
-	}
+	eng := engineFor(s) // compiled once, reused across fault counts
 	for k := 0; k <= f; k++ {
 		var res Result
 		switch {
@@ -387,7 +410,7 @@ func Profile(s Survivor, f int, cfg Config) []int {
 		case cfg.Mode == Exhaustive:
 			res = exhaustiveExact(s, k)
 		default:
-			res = sampled(s, k, cfg)
+			res = sampledWith(s, eng, k, cfg)
 		}
 		if res.Disconnected {
 			out[k] = -1

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"ftroute/internal/graph"
+	"ftroute/internal/routing"
 )
 
 // MaxDiameterParallel is MaxDiameter with the fault-set search fanned
@@ -253,6 +254,159 @@ func (e *Engine) greedyParallel(f int, res *Result, workers int) {
 			res.WorstFaults = e.Faults()
 		}
 	}
+}
+
+// MaxDiameterMixedParallel is MaxDiameterMixed with the search fanned
+// out over worker goroutines on per-worker Engine clones. Exhaustive
+// mode steals work over first-item enumeration prefixes of the n+m
+// universe; Sampled mode evaluates pre-drawn mixed sets in parallel and
+// then runs the greedy mixed adversary sequentially. Results are
+// bit-for-bit identical to the sequential search because sub-results
+// are folded back in enumeration order. Survivors that cannot enumerate
+// their routes fall back to the sequential legacy search.
+func MaxDiameterMixedParallel(s MixedSurvivor, f int, cfg Config, workers int) MixedResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if f < 0 {
+		f = 0
+	}
+	if workers == 1 || (cfg.Mode == Exhaustive && f == 0) {
+		return MaxDiameterMixed(s, f, cfg) // before compiling an engine this path would discard
+	}
+	eng := engineFor(s)
+	if eng == nil {
+		return MaxDiameterMixed(s, f, cfg)
+	}
+	edges := s.Graph().Edges()
+	if cfg.Mode != Exhaustive {
+		return eng.sampledMixedParallel(s, f, cfg, workers, edges)
+	}
+	return eng.exhaustiveMixedParallel(f, workers, edges)
+}
+
+// mergeOrderedMixed is mergeOrdered over mixed sub-results.
+func mergeOrderedMixed(merged *MixedResult, r MixedResult) {
+	merged.Evaluated += r.Evaluated
+	if merged.Disconnected {
+		return
+	}
+	if r.MaxDiameter > merged.MaxDiameter {
+		merged.MaxDiameter = r.MaxDiameter
+		if !r.Disconnected {
+			merged.WorstNodeFaults = r.WorstNodeFaults
+			merged.WorstEdgeFaults = r.WorstEdgeFaults
+		}
+	}
+	if r.Disconnected {
+		merged.Disconnected = true
+		merged.WorstNodeFaults = r.WorstNodeFaults
+		merged.WorstEdgeFaults = r.WorstEdgeFaults
+	}
+}
+
+// exhaustiveMixedParallel enumerates all mixed fault sets of size 0..f.
+// Work unit v is the subtree of sets whose smallest item is v (nodes
+// first, then edges); workers steal units from a shared counter, each
+// on its own engine clone.
+func (e *Engine) exhaustiveMixedParallel(f, workers int, edges [][2]int) MixedResult {
+	n := e.n
+	items := n + len(edges)
+	merged := MixedResult{WorstNodeFaults: graph.NewBitset(n)}
+	e.foldMixed(&merged) // empty set
+	if f <= 0 || items == 0 {
+		return merged
+	}
+	if workers > items {
+		workers = items
+	}
+	per := make([]MixedResult, items)
+	var nextUnit atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := e.Clone()
+			for {
+				v := int(nextUnit.Add(1)) - 1
+				if v >= items {
+					return
+				}
+				res := MixedResult{WorstNodeFaults: graph.NewBitset(n)}
+				c.toggleItem(v, edges, true)
+				c.foldMixed(&res)
+				c.descendMixed(v+1, f-1, edges, &res)
+				c.toggleItem(v, edges, false)
+				per[v] = res
+			}
+		}()
+	}
+	wg.Wait()
+	for _, r := range per {
+		mergeOrderedMixed(&merged, r)
+	}
+	return merged
+}
+
+// sampledMixedParallel evaluates pre-drawn random mixed sets on
+// per-worker clones; the sets are drawn up front from the seeded rng in
+// sequential order, so the merged result matches sampledMixed exactly.
+// The optional greedy phase runs sequentially on the (fault-free) main
+// engine after the merge.
+func (e *Engine) sampledMixedParallel(s MixedSurvivor, f int, cfg Config, workers int, edges [][2]int) MixedResult {
+	n := e.n
+	if f > n+len(edges) {
+		f = n + len(edges)
+	}
+	samples := cfg.Samples
+	if samples <= 0 {
+		samples = 200
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	merged := MixedResult{WorstNodeFaults: graph.NewBitset(n)}
+	e.foldMixed(&merged) // empty set
+	type drawn struct {
+		nf *graph.Bitset
+		ef []routing.EdgeFault
+	}
+	sets := make([]drawn, samples)
+	for i := range sets {
+		sets[i].nf, sets[i].ef = drawMixedFaults(rng, n, edges, f)
+	}
+	per := make([]MixedResult, samples)
+	var nextSample atomic.Int64
+	var wg sync.WaitGroup
+	sampleWorkers := workers
+	if sampleWorkers > samples {
+		sampleWorkers = samples
+	}
+	for w := 0; w < sampleWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := e.Clone()
+			for {
+				i := int(nextSample.Add(1)) - 1
+				if i >= samples {
+					return
+				}
+				c.SetMixedFaults(sets[i].nf, sets[i].ef)
+				res := MixedResult{WorstNodeFaults: graph.NewBitset(n)}
+				c.foldMixed(&res)
+				per[i] = res
+			}
+		}()
+	}
+	wg.Wait()
+	for _, r := range per {
+		mergeOrderedMixed(&merged, r)
+	}
+	if cfg.Greedy {
+		e.greedyMixed(f, edges, true, &merged)
+		e.Reset()
+	}
+	return merged
 }
 
 // legacyExhaustiveParallel partitions the enumeration by first element

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ftroute/internal/core"
+	"ftroute/internal/eval"
 	"ftroute/internal/gen"
 	"ftroute/internal/graph"
 	"ftroute/internal/netsim"
@@ -85,10 +86,16 @@ func runE14(scale Scale) (*Table, error) {
 // worstMixedDiameter enumerates all mixed fault sets of total size <= f
 // (node subsets x edge subsets) and returns the worst diameter of the
 // literal surviving graph restricted to the endpoint-mapped live nodes.
+// The literal surviving graph is maintained incrementally by the eval
+// engine — node sets apply as symmetric differences, edge subsets as
+// single AddEdgeFault/RemoveEdgeFault toggles around the recursion —
+// and the restriction to mapped-alive nodes is a masked engine BFS
+// (DiameterExcluding) instead of a materialized Digraph per set.
 func worstMixedDiameter(r *routing.Routing, g *graph.Graph, f int) (int, int, error) {
 	edges := g.Edges()
 	worst, sets := 0, 0
 	n := g.N()
+	eng := eval.NewEngine(r)
 	var nodeSets [][]int
 	var pick func(start int, cur []int, left int)
 	pick = func(start int, cur []int, left int) {
@@ -107,24 +114,19 @@ func worstMixedDiameter(r *routing.Routing, g *graph.Graph, f int) (int, int, er
 		for _, v := range nodes {
 			nf.Add(v)
 		}
+		eng.SetFaults(nf)
 		var edgePick func(start int, cur []routing.EdgeFault, left int) error
 		edgePick = func(start int, cur []routing.EdgeFault, left int) error {
-			// Evaluate the current node+edge combination.
+			// Evaluate the current node+edge combination, restricted to
+			// nodes alive under the endpoint mapping: the reduction only
+			// promises the bound for those.
 			sets++
-			d := r.SurvivingGraphMixed(nf, cur)
-			// Restrict to nodes alive under the endpoint mapping: the
-			// reduction only promises the bound for those.
 			mapped, err := routing.MapEdgeFaultsToNodes(n, nf, cur)
 			if err != nil {
 				return err
 			}
-			for _, v := range mapped.Elements() {
-				if !d.Disabled(v) {
-					d.Disable(v)
-				}
-			}
-			if d.EnabledCount() > 1 {
-				diam, ok := d.Diameter()
+			if n-mapped.Count() > 1 {
+				diam, ok := eng.DiameterExcluding(mapped)
 				if !ok {
 					worst = -1
 				} else if worst >= 0 && diam > worst {
@@ -135,7 +137,10 @@ func worstMixedDiameter(r *routing.Routing, g *graph.Graph, f int) (int, int, er
 				return nil
 			}
 			for i := start; i < len(edges); i++ {
-				if err := edgePick(i+1, append(cur, routing.EdgeFault{U: edges[i][0], V: edges[i][1]}), left-1); err != nil {
+				eng.AddEdgeFault(edges[i][0], edges[i][1])
+				err := edgePick(i+1, append(cur, routing.EdgeFault{U: edges[i][0], V: edges[i][1]}), left-1)
+				eng.RemoveEdgeFault(edges[i][0], edges[i][1])
+				if err != nil {
 					return err
 				}
 			}

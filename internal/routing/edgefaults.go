@@ -11,8 +11,10 @@ type EdgeFault struct {
 	U, V int
 }
 
-// normalize orders the endpoints.
-func (e EdgeFault) normalize() EdgeFault {
+// Normalize returns the fault with its endpoints ordered U <= V, the
+// canonical form under which two faults denote the same undirected link
+// iff they are equal.
+func (e EdgeFault) Normalize() EdgeFault {
 	if e.U > e.V {
 		return EdgeFault{U: e.V, V: e.U}
 	}
@@ -31,6 +33,14 @@ func (e EdgeFault) normalize() EdgeFault {
 //     like a node fault (experiment E14 verifies this empirically).
 //   - MapEdgeFaultsToNodes: the paper's reduction, for callers that want
 //     to reuse node-fault machinery unchanged.
+//
+// Fault-set searches over the literal model should not call
+// SurvivingGraphMixed per set: package eval's Engine maintains the
+// mixed surviving graph incrementally (AddEdgeFault/RemoveEdgeFault)
+// and its MaxDiameterMixed family searches mixed fault sets orders of
+// magnitude faster, with this rebuild path as the bit-for-bit
+// reference. MultiRouting carries the same method for the Section 6
+// multiroutings.
 
 // SurvivingGraphMixed computes the surviving route graph under both
 // node faults (may be nil) and edge faults: an arc u→v survives iff the
@@ -38,7 +48,7 @@ func (e EdgeFault) normalize() EdgeFault {
 func (r *Routing) SurvivingGraphMixed(nodeFaults *graph.Bitset, edgeFaults []EdgeFault) *graph.Digraph {
 	bad := make(map[EdgeFault]bool, len(edgeFaults))
 	for _, e := range edgeFaults {
-		bad[e.normalize()] = true
+		bad[e.Normalize()] = true
 	}
 	d := graph.NewDigraph(r.g.N())
 	if nodeFaults != nil {
@@ -61,7 +71,7 @@ func pathUsesEdge(p Path, bad map[EdgeFault]bool) bool {
 		return false
 	}
 	for i := 0; i+1 < len(p); i++ {
-		if bad[EdgeFault{U: p[i], V: p[i+1]}.normalize()] {
+		if bad[EdgeFault{U: p[i], V: p[i+1]}.Normalize()] {
 			return true
 		}
 	}

@@ -7,6 +7,116 @@ import (
 	"ftroute/internal/graph"
 )
 
+func TestEdgeFaultNormalize(t *testing.T) {
+	for _, tc := range []struct{ in, want EdgeFault }{
+		{EdgeFault{U: 3, V: 1}, EdgeFault{U: 1, V: 3}},
+		{EdgeFault{U: 1, V: 3}, EdgeFault{U: 1, V: 3}},
+		{EdgeFault{U: 2, V: 2}, EdgeFault{U: 2, V: 2}},
+		{EdgeFault{U: 0, V: 0}, EdgeFault{U: 0, V: 0}},
+	} {
+		if got := tc.in.Normalize(); got != tc.want {
+			t.Fatalf("Normalize(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	// Both orientations denote the same link after normalization.
+	if (EdgeFault{U: 5, V: 2}).Normalize() != (EdgeFault{U: 2, V: 5}).Normalize() {
+		t.Fatal("orientations normalize differently")
+	}
+}
+
+func TestSurvivingGraphMixedDuplicateAndSelfLoopFaults(t *testing.T) {
+	g, err := gen.Cycle(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := ShortestPath(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duplicates (in both orientations) and self-loops collapse to the
+	// single real fault {0,1}: the surviving graph must be identical.
+	messy := []EdgeFault{{U: 0, V: 1}, {U: 1, V: 0}, {U: 0, V: 1}, {U: 3, V: 3}}
+	clean := []EdgeFault{{U: 0, V: 1}}
+	dm := r.SurvivingGraphMixed(nil, messy)
+	dc := r.SurvivingGraphMixed(nil, clean)
+	for u := 0; u < g.N(); u++ {
+		for v := 0; v < g.N(); v++ {
+			if dm.HasArc(u, v) != dc.HasArc(u, v) {
+				t.Fatalf("arc (%d,%d) differs between messy and clean fault lists", u, v)
+			}
+		}
+	}
+	// A self-loop alone kills nothing.
+	d := r.SurvivingGraphMixed(nil, []EdgeFault{{U: 2, V: 2}})
+	if d.Arcs() != r.SurvivingGraph(nil).Arcs() {
+		t.Fatal("self-loop edge fault killed routes")
+	}
+}
+
+func TestMultiRoutingSurvivingGraphMixed(t *testing.T) {
+	// Two parallel routes per pair on C6 (clockwise and counterclockwise):
+	// one dead edge leaves every pair its other route, so no arc dies;
+	// a node fault still kills the node's pairs.
+	g, err := gen.Cycle(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMulti(g, 0, false)
+	for u := 0; u < 6; u++ {
+		for v := 0; v < 6; v++ {
+			if u == v {
+				continue
+			}
+			cw := Path{u}
+			for w := u; w != v; w = (w + 1) % 6 {
+				cw = append(cw, (w+1)%6)
+			}
+			ccw := Path{u}
+			for w := u; w != v; w = (w + 5) % 6 {
+				ccw = append(ccw, (w+5)%6)
+			}
+			if err := m.Add(cw); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Add(ccw); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	d := m.SurvivingGraphMixed(nil, []EdgeFault{{U: 0, V: 1}})
+	for u := 0; u < 6; u++ {
+		for v := 0; v < 6; v++ {
+			if u != v && !d.HasArc(u, v) {
+				t.Fatalf("arc (%d,%d) should survive via the parallel route", u, v)
+			}
+		}
+	}
+	// Both edges at node 0 dead: 0 cannot reach anyone, others reroute.
+	d = m.SurvivingGraphMixed(nil, []EdgeFault{{U: 0, V: 1}, {U: 5, V: 0}})
+	if d.HasArc(0, 3) || d.HasArc(3, 0) {
+		t.Fatal("node 0 lost both incident edges; its routes must be dead")
+	}
+	if !d.HasArc(1, 5) {
+		t.Fatal("pair (1,5) still has its inner route")
+	}
+	// Node fault composes with edge faults: 4->0 keeps its clockwise
+	// route (4,5,0), but 2->0 loses both — counterclockwise uses edge
+	// {0,1} and clockwise passes node 3.
+	d = m.SurvivingGraphMixed(graph.BitsetOf(6, 3), []EdgeFault{{U: 0, V: 1}})
+	if !d.Disabled(3) {
+		t.Fatal("node fault should disable the node")
+	}
+	if !d.HasArc(4, 0) {
+		t.Fatal("pair (4,0) survives via (4,5,0)")
+	}
+	if d.HasArc(2, 0) {
+		t.Fatal("pair (2,0) lost both routes")
+	}
+	if d.HasArc(2, 3) || d.HasArc(4, 3) {
+		t.Fatal("arcs into the faulty node must be dead")
+	}
+}
+
 func TestSurvivingGraphMixedEdgeOnly(t *testing.T) {
 	g, err := gen.Cycle(6)
 	if err != nil {

@@ -122,6 +122,36 @@ func (m *MultiRouting) EachRoute(fn func(u, v int, p Path)) {
 	}
 }
 
+// SurvivingGraphMixed computes the surviving route graph under both
+// node faults (may be nil) and edge faults: an arc u→v exists when at
+// least one route of the pair contains no faulty node and traverses no
+// faulty edge. It is the multirouting analogue of
+// Routing.SurvivingGraphMixed.
+func (m *MultiRouting) SurvivingGraphMixed(nodeFaults *graph.Bitset, edgeFaults []EdgeFault) *graph.Digraph {
+	bad := make(map[EdgeFault]bool, len(edgeFaults))
+	for _, e := range edgeFaults {
+		bad[e.Normalize()] = true
+	}
+	d := graph.NewDigraph(m.g.N())
+	if nodeFaults != nil {
+		for _, f := range nodeFaults.Elements() {
+			d.Disable(f)
+		}
+	}
+	for k, ps := range m.routes {
+		if nodeFaults.Has(int(k.u)) || nodeFaults.Has(int(k.v)) {
+			continue
+		}
+		for _, p := range ps {
+			if !pathAffected(p, nodeFaults) && !pathUsesEdge(p, bad) {
+				d.AddArc(int(k.u), int(k.v))
+				break
+			}
+		}
+	}
+	return d
+}
+
 // SurvivingGraph computes the surviving route graph: an arc u→v exists
 // when at least one route of the pair avoids the fault set.
 func (m *MultiRouting) SurvivingGraph(faults *graph.Bitset) *graph.Digraph {
