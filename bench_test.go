@@ -391,6 +391,88 @@ func BenchmarkExhaustiveMixedEngineParallelCCC4F2(b *testing.B) {
 	}
 }
 
+// --- Static-failover benchmarks (see internal/routing failover) ---
+//
+// The anchor instance again: CCC(4) circular reinforced with 2 backup
+// routes per pair and compiled to ranked failover tables. Walks are
+// packet-level, so these benchmarks bound the cost of the link-cut
+// adversary (every probed cut set walks every routed pair).
+
+// ccc4Failover compiles the anchor routing to reinforced tables.
+func ccc4Failover(b *testing.B) *FailoverTables {
+	b.Helper()
+	m, err := Reinforce(ccc4Circular(b), 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return CompileFailover(m)
+}
+
+// BenchmarkCompileFailoverCCC4 measures the one-time table compilation
+// (reinforcement included) that every adversary search amortizes.
+func BenchmarkCompileFailoverCCC4(b *testing.B) {
+	r := ccc4Circular(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := Reinforce(r, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if t := CompileFailover(m); t.Entries() == 0 {
+			b.Fatal("empty tables")
+		}
+	}
+}
+
+// BenchmarkWalkUnderFaultsCCC4 measures one hop-by-hop failover walk
+// under a mixed fault set, rotating over every routed pair.
+func BenchmarkWalkUnderFaultsCCC4(b *testing.B) {
+	t := ccc4Failover(b)
+	edges := ccc4Circular(b).Graph().Edges()
+	e1, e2 := edges[0], edges[len(edges)/2]
+	faults := FaultSetOf(t.N(), []int{5}, []EdgeFault{
+		{U: e1[0], V: e1[1]}, {U: e2[0], V: e2[1]},
+	})
+	pairs := t.Pairs()
+	hops := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		hops += t.WalkUnderFaults(int(p[0]), int(p[1]), faults).Hops
+	}
+	if hops < 0 {
+		b.Fatal("impossible")
+	}
+}
+
+// BenchmarkWorstLinkCutsCCC4F1 is the exhaustive link-cut adversary at
+// budget 1: 1 + 96 cut sets, each walking every routed pair.
+func BenchmarkWorstLinkCutsCCC4F1(b *testing.B) {
+	t := ccc4Failover(b)
+	g := ccc4Circular(b).Graph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := WorstLinkCuts(t, g, 1, eval.Config{Mode: eval.Exhaustive})
+		if res.Evaluated != 97 {
+			b.Fatalf("evaluated %d", res.Evaluated)
+		}
+	}
+}
+
+// BenchmarkWorstLinkCutsSampledCCC4F2 is the sampled+greedy+concentrator
+// adversary at budget 2 — the scale the failover CLI subcommand runs.
+func BenchmarkWorstLinkCutsSampledCCC4F2(b *testing.B) {
+	t := ccc4Failover(b)
+	g := ccc4Circular(b).Graph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := WorstLinkCuts(t, g, 2, eval.Config{Mode: eval.Sampled, Samples: 20, Greedy: true, Seed: 1})
+		if res.Evaluated == 0 {
+			b.Fatal("no sets evaluated")
+		}
+	}
+}
+
 // BenchmarkE14EdgeFaults regenerates E14 (edge-fault extension).
 func BenchmarkE14EdgeFaults(b *testing.B) { benchExperiment(b, "E14") }
 

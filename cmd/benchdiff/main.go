@@ -10,6 +10,18 @@
 // Benchmarks present in the output but not in the baseline are
 // reported as new and never fail the gate; baselines not exercised by
 // the run are ignored. With an empty -gate the command only reports.
+//
+// -gate-ratio gates on the ns/op ratio between two benchmarks from the
+// same run rather than on absolute times:
+//
+//	-gate-ratio 'BenchmarkExhaustiveEngineCCC4F2/BenchmarkExhaustiveLegacyCCC4F2'
+//
+// fails when the current engine/legacy ratio exceeds the baseline
+// ratio by more than -max-regress. Because both sides of each ratio
+// come from the same process on the same machine, this gate is immune
+// to CI machine-speed variation that absolute ns/op gates misfire on.
+// Every named benchmark must be present in both the run and the
+// baseline; a pair that matches nothing is an error, not a pass.
 package main
 
 import (
@@ -37,9 +49,14 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		baselinePath = fs.String("baseline", "BENCH_eval.json", "baseline JSON file")
 		inputPath    = fs.String("input", "-", "bench output file ('-' = stdin)")
 		gateExpr     = fs.String("gate", "", "regexp of benchmark names that must not regress")
-		maxRegress   = fs.Float64("max-regress", 0.30, "maximum allowed fractional ns/op regression for gated benchmarks")
+		gateRatios   = fs.String("gate-ratio", "", "comma-separated NUM/DEN benchmark-name pairs gated on their ns/op ratio against the baseline ratio")
+		maxRegress   = fs.Float64("max-regress", 0.30, "maximum allowed fractional regression for gated benchmarks and ratios")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	pairs, err := parseRatioPairs(*gateRatios)
+	if err != nil {
 		return err
 	}
 	baseline, err := loadBaseline(*baselinePath)
@@ -68,6 +85,16 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	report, failures, gated := compare(baseline, current, gate, *maxRegress)
 	fmt.Fprint(stdout, report)
+	if len(pairs) > 0 {
+		ratioReport, ratioFailures, err := compareRatios(baseline, current, pairs, *maxRegress)
+		if err != nil {
+			// A pair naming an absent benchmark guards nothing: fail like
+			// the vacuous-gate case below rather than passing silently.
+			return err
+		}
+		fmt.Fprint(stdout, ratioReport)
+		failures = append(failures, ratioFailures...)
+	}
 	if len(failures) > 0 {
 		return fmt.Errorf("benchmark regression gate failed:\n  %s", strings.Join(failures, "\n  "))
 	}
@@ -77,6 +104,59 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return fmt.Errorf("gate %q matched no benchmark present in both the run and the baseline", *gateExpr)
 	}
 	return nil
+}
+
+// parseRatioPairs splits a comma-separated list of NUM/DEN benchmark
+// name pairs. Names are matched exactly against the parsed bench
+// output (after the GOMAXPROCS suffix is stripped), not as regexps.
+func parseRatioPairs(spec string) ([][2]string, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var pairs [][2]string
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		num, den, ok := strings.Cut(part, "/")
+		if !ok || num == "" || den == "" {
+			return nil, fmt.Errorf("bad -gate-ratio pair %q: want NUM/DEN benchmark names", part)
+		}
+		pairs = append(pairs, [2]string{num, den})
+	}
+	return pairs, nil
+}
+
+// compareRatios gates each NUM/DEN pair on its ns/op ratio: the
+// current ratio may exceed the baseline ratio by at most maxRegress
+// (fractionally). Both benchmarks of every pair must be present in the
+// run and the baseline — a missing name is an error so the gate can
+// never pass vacuously after a renamed benchmark or drifted -bench
+// filter.
+func compareRatios(baseline, current map[string]float64, pairs [][2]string, maxRegress float64) (string, []string, error) {
+	var b strings.Builder
+	var failures []string
+	fmt.Fprintf(&b, "\n%-90s %9s %9s %9s\n", "ratio", "baseline", "current", "delta")
+	for _, p := range pairs {
+		num, den := p[0], p[1]
+		for _, name := range []string{num, den} {
+			if v, ok := current[name]; !ok || v <= 0 {
+				return "", nil, fmt.Errorf("gate-ratio benchmark %q not present in the bench run", name)
+			}
+			if v, ok := baseline[name]; !ok || v <= 0 {
+				return "", nil, fmt.Errorf("gate-ratio benchmark %q not present in the baseline", name)
+			}
+		}
+		baseRatio := baseline[num] / baseline[den]
+		curRatio := current[num] / current[den]
+		delta := (curRatio - baseRatio) / baseRatio
+		mark := " [gated]"
+		if delta > maxRegress {
+			mark = " [FAIL]"
+			failures = append(failures, fmt.Sprintf("%s/%s: ratio %.4f -> %.4f (%+.1f%%, allowed %+.1f%%)",
+				num, den, baseRatio, curRatio, delta*100, maxRegress*100))
+		}
+		fmt.Fprintf(&b, "%-90s %9.4f %9.4f %+8.1f%%%s\n", num+"/"+den, baseRatio, curRatio, delta*100, mark)
+	}
+	return b.String(), failures, nil
 }
 
 // baselineFile mirrors the BENCH_eval.json shape; only ns_per_op is

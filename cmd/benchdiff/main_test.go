@@ -78,6 +78,100 @@ func TestCompareGate(t *testing.T) {
 	}
 }
 
+func TestParseRatioPairs(t *testing.T) {
+	pairs, err := parseRatioPairs("A/B, C/D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 2 || pairs[0] != [2]string{"A", "B"} || pairs[1] != [2]string{"C", "D"} {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	if p, err := parseRatioPairs(""); err != nil || p != nil {
+		t.Fatalf("empty spec: %v, %v", p, err)
+	}
+	for _, bad := range []string{"A", "A/", "/B", "A/B,"} {
+		if _, err := parseRatioPairs(bad); err == nil {
+			t.Fatalf("spec %q should fail", bad)
+		}
+	}
+}
+
+func TestCompareRatios(t *testing.T) {
+	baseline := map[string]float64{"BenchmarkEngine": 100, "BenchmarkLegacy": 1000}
+	pairs := [][2]string{{"BenchmarkEngine", "BenchmarkLegacy"}}
+
+	// Same ratio at 3x the absolute speed: an absolute gate would see a
+	// 200% regression, the ratio gate must pass.
+	current := map[string]float64{"BenchmarkEngine": 300, "BenchmarkLegacy": 3000}
+	report, failures, err := compareRatios(baseline, current, pairs, 0.30)
+	if err != nil || len(failures) != 0 {
+		t.Fatalf("uniform slowdown must pass the ratio gate: %v %v", failures, err)
+	}
+	if !strings.Contains(report, "[gated]") {
+		t.Fatalf("report missing gated mark:\n%s", report)
+	}
+	// Engine regresses relative to legacy beyond the threshold: fail.
+	current = map[string]float64{"BenchmarkEngine": 150, "BenchmarkLegacy": 1000}
+	report, failures, err = compareRatios(baseline, current, pairs, 0.30)
+	if err != nil || len(failures) != 1 || !strings.Contains(report, "[FAIL]") {
+		t.Fatalf("50%% ratio regression must fail: %v %v\n%s", failures, err, report)
+	}
+	// Ratio improvements never fail.
+	current = map[string]float64{"BenchmarkEngine": 50, "BenchmarkLegacy": 1000}
+	if _, failures, err = compareRatios(baseline, current, pairs, 0.30); err != nil || len(failures) != 0 {
+		t.Fatalf("ratio speedup must not fail: %v %v", failures, err)
+	}
+	// A pair member missing from the run or the baseline is an error.
+	if _, _, err = compareRatios(baseline, map[string]float64{"BenchmarkEngine": 100}, pairs, 0.30); err == nil {
+		t.Fatal("missing run benchmark must error")
+	}
+	current = map[string]float64{"BenchmarkEngine": 100, "BenchmarkLegacy": 1000}
+	if _, _, err = compareRatios(map[string]float64{"BenchmarkEngine": 100}, current, pairs, 0.30); err == nil {
+		t.Fatal("missing baseline benchmark must error")
+	}
+}
+
+func TestRunGateRatioEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	if err := os.WriteFile(base, []byte(`{"benchmarks":{
+		"BenchmarkExhaustiveEngineCCC4F2":{"ns_per_op":14316550},
+		"BenchmarkExhaustiveMixedEngineCCC4F2":{"ns_per_op":83695805}}}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	ratio := "BenchmarkExhaustiveEngineCCC4F2/BenchmarkExhaustiveMixedEngineCCC4F2"
+	var out strings.Builder
+	if err := run([]string{"-baseline", base, "-gate-ratio", ratio},
+		strings.NewReader(sampleOutput), &out); err != nil {
+		t.Fatalf("matching ratio run failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "[gated]") {
+		t.Fatalf("report missing ratio line:\n%s", out.String())
+	}
+
+	// Numerator regresses 10x while the denominator holds: ratio fails.
+	regressed := strings.Replace(sampleOutput, "14316550 ns/op", "143165500 ns/op", 1)
+	out.Reset()
+	err := run([]string{"-baseline", base, "-gate-ratio", ratio},
+		strings.NewReader(regressed), &out)
+	if err == nil || !strings.Contains(err.Error(), "regression gate failed") {
+		t.Fatalf("err = %v", err)
+	}
+
+	// A ratio naming an absent benchmark must error, not pass vacuously.
+	out.Reset()
+	err = run([]string{"-baseline", base, "-gate-ratio", "BenchmarkNoSuch/BenchmarkExhaustiveEngineCCC4F2"},
+		strings.NewReader(sampleOutput), &out)
+	if err == nil || !strings.Contains(err.Error(), "not present") {
+		t.Fatalf("vacuous ratio gate must fail: %v", err)
+	}
+	// A malformed pair is a usage error.
+	if err := run([]string{"-baseline", base, "-gate-ratio", "oops"},
+		strings.NewReader(sampleOutput), &out); err == nil {
+		t.Fatal("malformed -gate-ratio must fail")
+	}
+}
+
 func TestRunEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	base := filepath.Join(dir, "base.json")

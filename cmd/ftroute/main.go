@@ -8,6 +8,7 @@
 //	ftroute route -graph <spec> [-construction auto|kernel|circular|tricircular|bipolar|bipolar-bi]
 //	ftroute tolerate -graph <spec> [-construction ...] [-faults k] [-samples n] [-exhaustive] [-mixed]
 //	ftroute simulate -graph <spec> [-construction ...] [-faults k] [-samples n]
+//	ftroute failover -graph <spec> [-construction ...] [-cuts k] [-backups b] [-retries r] [-messages n] [-samples n] [-exhaustive]
 //	ftroute export   -graph <spec> [-construction ...] -table routing.json
 //	ftroute check    -graph <spec> -table routing.json -bound d [-faults k] [-exhaustive]
 //
@@ -54,7 +55,7 @@ func main() {
 	}
 }
 
-var errUsage = errors.New("usage: ftroute <info|plan|route|tolerate|simulate|export|check> -graph <spec> [flags]")
+var errUsage = errors.New("usage: ftroute <info|plan|route|tolerate|simulate|failover|export|check> -graph <spec> [flags]")
 
 func run(args []string) error {
 	if len(args) < 1 {
@@ -71,6 +72,10 @@ func run(args []string) error {
 		mixed        = fs.Bool("mixed", false, "tolerate: spend the fault budget on nodes and links combined (literal edge-fault semantics)")
 		table        = fs.String("table", "", "routing-table file for export/check")
 		bound        = fs.Int("bound", -1, "diameter bound to check (default: construction's bound)")
+		cuts         = fs.Int("cuts", 2, "failover: adversary's link-cut budget")
+		backups      = fs.Int("backups", 2, "failover: link-disjoint backup routes per pair")
+		retries      = fs.Int("retries", 2, "failover: walk restarts allowed per message in the simulation")
+		messages     = fs.Int("messages", 300, "failover: messages in the fault-injection workload")
 	)
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
@@ -94,6 +99,8 @@ func run(args []string) error {
 		return tolerate(g, *construction, *faults, *samples, *exhaustive, *mixed)
 	case "simulate":
 		return simulate(g, *construction, *faults, *samples)
+	case "failover":
+		return failover(g, *construction, *cuts, *backups, *retries, *messages, *samples, *exhaustive)
 	case "export":
 		return export(g, *construction, *table)
 	case "check":
@@ -154,6 +161,67 @@ func simulate(g *ftroute.Graph, construction string, faults, samples int) error 
 	}
 	fmt.Printf("broadcast from %d with bound %d: reached %d nodes (all=%v), max counter %d\n",
 		origin, diam, len(bc.Reached), bc.AllReached, bc.MaxCounter)
+	return nil
+}
+
+// failover compiles the requested routing to static-failover tables,
+// both plain (rank-1) and reinforced with link-disjoint backups, runs
+// the link-cut adversary against both, and then replays the plain
+// tables' worst cut as a mid-run fault-injection in the simulator:
+// the cut lands a third of the way through the workload and is repaired
+// at two thirds, with each stuck message retrying from its stuck node.
+func failover(g *ftroute.Graph, construction string, cuts, backups, retries, messages, samples int, exhaustive bool) error {
+	r, _, err := build(g, construction)
+	if err != nil {
+		return err
+	}
+	rt, ok := r.(*ftroute.Routing)
+	if !ok {
+		return fmt.Errorf("ftroute: failover supports single routings, not multiroutings")
+	}
+	plain := ftroute.FailoverFromRouting(rt)
+	m, err := ftroute.Reinforce(rt, backups)
+	if err != nil {
+		return err
+	}
+	reinforced := ftroute.CompileFailover(m)
+	fmt.Printf("tables: plain %d entries (rank 1), reinforced %d entries (rank <= %d)\n",
+		plain.Entries(), reinforced.Entries(), reinforced.MaxRank())
+	cfg := ftroute.EvalConfig{Mode: ftroute.Sampled, Samples: samples, Greedy: true, Seed: 1}
+	mode := "sampled+greedy+concentrator"
+	if exhaustive {
+		cfg = ftroute.EvalConfig{Mode: ftroute.Exhaustive}
+		mode = "exhaustive"
+	}
+	pw := ftroute.WorstLinkCuts(plain, g, cuts, cfg)
+	rw := ftroute.WorstLinkCuts(reinforced, g, cuts, cfg)
+	fmt.Printf("adversary (%s, budget %d):\n", mode, cuts)
+	fmt.Printf("  plain:      %s\n", pw)
+	fmt.Printf("  reinforced: %s\n", rw)
+	fmt.Printf("  reinforced under plain's worst cut: %s\n", ftroute.EvaluateLinkCuts(reinforced, pw.Worst))
+	if messages <= 0 {
+		messages = 300
+	}
+	var schedule []netsim.FaultEvent
+	for _, e := range pw.Worst {
+		schedule = append(schedule,
+			netsim.FaultEvent{AfterMessage: messages / 3, Link: true, U: e.U, V: e.V},
+			netsim.FaultEvent{AfterMessage: 2 * messages / 3, Link: true, U: e.U, V: e.V, Repair: true})
+	}
+	wl := netsim.Workload{Messages: messages, Seed: 1}
+	fmt.Printf("simulation (%d messages, cut %v injected at %d, repaired at %d, retries %d):\n",
+		messages, pw.Worst, messages/3, 2*messages/3, retries)
+	for _, tc := range []struct {
+		name   string
+		tables *ftroute.FailoverTables
+	}{{"plain", plain}, {"reinforced", reinforced}} {
+		nw := netsim.New(rt, netsim.Params{HopCost: 1, EndpointCost: 10})
+		stats, err := nw.RunFailoverWorkload(wl, schedule, netsim.FailoverParams{Tables: tc.tables, Retries: retries})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-10s %s\n", tc.name, stats)
+	}
 	return nil
 }
 

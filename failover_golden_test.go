@@ -1,0 +1,123 @@
+package ftroute
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// The golden cross-check between the repo's two fault models. The paper
+// evaluates a routing through its surviving route graph R(G,ρ)/F: the
+// arc (u,v) survives iff the route ρ(u,v) avoids every fault. The
+// failover subsystem evaluates the same routing packet by packet:
+// WalkUnderFaults follows the compiled tables hop by hop. For rank-1
+// tables (FailoverFromRouting — no backups) the two must coincide
+// exactly: the walk retraces ρ(u,v) and delivers iff no fault lies on
+// it, so
+//
+//	walk(u,v) == Delivered  ⇔  R(G,ρ)/F has the arc (u,v)
+//
+// and a forwarding loop is impossible (a single simple route revisits
+// no node). Any divergence is a bug in exactly one of the two engines,
+// which is what makes this a golden test.
+
+// agreeOnFaults walks every routed pair under the given fault set and
+// checks the equivalence against SurvivingGraphMixed.
+func agreeOnFaults(t *testing.T, r *Routing, ft *FailoverTables, nodes []int, links []EdgeFault) {
+	t.Helper()
+	n := r.Graph().N()
+	d := r.SurvivingGraphMixed(FaultsOf(n, nodes...), links)
+	faults := FaultSetOf(n, nodes, links)
+	for _, p := range ft.Pairs() {
+		u, v := int(p[0]), int(p[1])
+		res := ft.WalkUnderFaults(u, v, faults)
+		if res.Outcome == ForwardingLoop {
+			t.Fatalf("rank-1 walk (%d,%d) under %v/%v looped: %v", u, v, nodes, links, res.Path)
+		}
+		if got, want := res.Outcome == Delivered, d.HasArc(u, v); got != want {
+			t.Fatalf("pair (%d,%d) under nodes %v links %v: walk delivered=%v, surviving route graph arc=%v (path %v)",
+				u, v, nodes, links, got, want, res.Path)
+		}
+	}
+}
+
+func TestFailoverWalkMatchesSurvivingRouteGraphCCC4(t *testing.T) {
+	g, err := CCC(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _, err := Circular(g, Options{Tolerance: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := FailoverFromRouting(r)
+
+	// Exhaustive over all size-<=1 fault sets (empty + 64 nodes + 96 links).
+	for v := -1; v < g.N(); v++ {
+		var nodes []int
+		if v >= 0 {
+			nodes = []int{v}
+		}
+		agreeOnFaults(t, r, ft, nodes, nil)
+	}
+	for _, e := range g.Edges() {
+		agreeOnFaults(t, r, ft, nil, []EdgeFault{{U: e[0], V: e[1]}})
+	}
+
+	// Seeded random size-2 mixed sets over the 160-item universe.
+	rng := rand.New(rand.NewSource(7))
+	edges := g.Edges()
+	for trial := 0; trial < 40; trial++ {
+		var nodes []int
+		var links []EdgeFault
+		for len(nodes)+len(links) < 2 {
+			if it := rng.Intn(g.N() + len(edges)); it < g.N() {
+				nodes = append(nodes, it)
+			} else {
+				e := edges[it-g.N()]
+				links = append(links, EdgeFault{U: e[0], V: e[1]})
+			}
+		}
+		t.Run(fmt.Sprintf("mixed2_%v_%v", nodes, links), func(t *testing.T) {
+			agreeOnFaults(t, r, ft, nodes, links)
+		})
+	}
+}
+
+func TestFailoverWalkMatchesSurvivingRouteGraphCCC3(t *testing.T) {
+	// CCC(3) with a kernel routing: the partial-pairs case (the kernel
+	// routes only pairs meeting its concentrator condition), exhaustive
+	// over every mixed fault set of size <= 2 from the 60-item universe.
+	g, err := CCC(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _, err := Kernel(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := FailoverFromRouting(r)
+	type itemSet struct {
+		nodes []int
+		links []EdgeFault
+	}
+	edges := g.Edges()
+	items := g.N() + len(edges)
+	itemOf := func(i int) itemSet {
+		if i < g.N() {
+			return itemSet{nodes: []int{i}}
+		}
+		e := edges[i-g.N()]
+		return itemSet{links: []EdgeFault{{U: e[0], V: e[1]}}}
+	}
+	agreeOnFaults(t, r, ft, nil, nil)
+	for i := 0; i < items; i++ {
+		a := itemOf(i)
+		agreeOnFaults(t, r, ft, a.nodes, a.links)
+		for j := i + 1; j < items; j++ {
+			b := itemOf(j)
+			agreeOnFaults(t, r, ft, append(append([]int{}, a.nodes...), b.nodes...),
+				append(append([]EdgeFault{}, a.links...), b.links...))
+		}
+	}
+}

@@ -231,6 +231,59 @@ var (
 	MapEdgeFaultsToNodes = routing.MapEdgeFaultsToNodes
 )
 
+// Static-failover forwarding: ranked backup next-hops with local
+// failover (Chiesa et al.'s model), plus the packet-level link-cut
+// adversary that searches for the worst cuts against the tables.
+type (
+	// FailoverTables hold ranked per-(node, src, dst) next hops: the
+	// primary route's hop first, backups after it.
+	FailoverTables = routing.FailoverTables
+	// FaultSet is a static set of faulty nodes and links, the
+	// environment a failover walk runs in.
+	FaultSet = routing.FaultSet
+	// WalkResult reports one static-failover walk (outcome, path, hops,
+	// backup entries used).
+	WalkResult = routing.WalkResult
+	// WalkOutcome classifies a walk: Delivered, Blackhole or
+	// ForwardingLoop.
+	WalkOutcome = routing.Outcome
+	// LinkCutStats counts walk outcomes over all table pairs under one
+	// cut set.
+	LinkCutStats = eval.CutStats
+	// LinkCutResult reports the worst link-cut set found.
+	LinkCutResult = eval.CutResult
+)
+
+// Static-failover walk outcomes.
+const (
+	// Delivered: the packet reached its destination.
+	Delivered = routing.Delivered
+	// Blackhole: some node on the walk had no live next hop.
+	Blackhole = routing.Blackhole
+	// ForwardingLoop: the walk revisited a node, hence cycles forever.
+	ForwardingLoop = routing.Loop
+)
+
+var (
+	// CompileFailover builds ranked failover tables from a multirouting.
+	CompileFailover = routing.CompileFailover
+	// FailoverFromRouting builds rank-1 failover tables from a single
+	// routing (walks succeed exactly when the pair's route survives).
+	FailoverFromRouting = routing.FailoverFromRouting
+	// Reinforce adds up to k link-disjoint backup routes per pair
+	// (Lenzen–Medina-style), ready for CompileFailover.
+	Reinforce = routing.Reinforce
+	// NewFaultSet returns an empty node+link fault set over n nodes.
+	NewFaultSet = routing.NewFaultSet
+	// FaultSetOf returns a fault set with the given faulty nodes and links.
+	FaultSetOf = routing.FaultSetOf
+	// WorstLinkCuts searches for the cut set disrupting the most pairs
+	// of a failover table set (exhaustive, or sampled+greedy+concentrator).
+	WorstLinkCuts = eval.WorstLinkCuts
+	// EvaluateLinkCuts walks every table pair under one cut set.
+	EvaluateLinkCuts = eval.EvaluateCuts
+)
+
 // Beyond-tolerance analysis (the paper's Open Problem 3).
 type (
 	// BeyondResult reports componentwise behavior when |F| can exceed t.

@@ -235,6 +235,22 @@ func TestMixedParallelEquivalence(t *testing.T) {
 	}
 }
 
+func TestGreedyMixedParallelEquivalence(t *testing.T) {
+	// Deeper budgets exercise the parallel greedy phase across many
+	// rounds: clone synchronization, the reduction tie-breaks, and the
+	// disconnection early-return (a cycle disconnects after few cuts).
+	for name, s := range mixedSources(t) {
+		for _, f := range []int{1, 3, 5} {
+			cfg := Config{Mode: Sampled, Samples: 5, Seed: 3, Greedy: true}
+			want := MaxDiameterMixed(s, f, cfg)
+			for _, workers := range []int{2, 3, 8} {
+				got := MaxDiameterMixedParallel(s, f, cfg, workers)
+				sameMixedResult(t, fmt.Sprintf("%s f=%d w=%d", name, f, workers), got, want)
+			}
+		}
+	}
+}
+
 func TestGreedyEdgeAdversaryEquivalence(t *testing.T) {
 	for name, s := range mixedSources(t) {
 		got := GreedyEdgeAdversary(s, 2)

@@ -260,7 +260,8 @@ func (e *Engine) greedyParallel(f int, res *Result, workers int) {
 // out over worker goroutines on per-worker Engine clones. Exhaustive
 // mode steals work over first-item enumeration prefixes of the n+m
 // universe; Sampled mode evaluates pre-drawn mixed sets in parallel and
-// then runs the greedy mixed adversary sequentially. Results are
+// then runs the greedy mixed adversary with its candidate probes
+// parallelized per round. Results are
 // bit-for-bit identical to the sequential search because sub-results
 // are folded back in enumeration order. Survivors that cannot enumerate
 // their routes fall back to the sequential legacy search.
@@ -352,8 +353,8 @@ func (e *Engine) exhaustiveMixedParallel(f, workers int, edges [][2]int) MixedRe
 // sampledMixedParallel evaluates pre-drawn random mixed sets on
 // per-worker clones; the sets are drawn up front from the seeded rng in
 // sequential order, so the merged result matches sampledMixed exactly.
-// The optional greedy phase runs sequentially on the (fault-free) main
-// engine after the merge.
+// The optional greedy phase spreads each round's candidate probes over
+// the same workers, with the sequential reduction order.
 func (e *Engine) sampledMixedParallel(s MixedSurvivor, f int, cfg Config, workers int, edges [][2]int) MixedResult {
 	n := e.n
 	if f > n+len(edges) {
@@ -403,10 +404,107 @@ func (e *Engine) sampledMixedParallel(s MixedSurvivor, f int, cfg Config, worker
 		mergeOrderedMixed(&merged, r)
 	}
 	if cfg.Greedy {
-		e.greedyMixed(f, edges, true, &merged)
+		e.greedyMixedParallel(f, edges, &merged, workers)
 		e.Reset()
 	}
 	return merged
+}
+
+// greedyMixedParallel is the engine greedyMixed (with node items
+// included) with each round's candidate probes spread over workers.
+// Candidate verdicts are reduced in item order with the sequential
+// tie-breaking — disconnection preferred, then lowest item — so the
+// grown mixed set (and hence the result) matches the serial adversary
+// exactly. The engine must start fault-free; it ends holding the
+// grown set.
+func (e *Engine) greedyMixedParallel(f int, edges [][2]int, res *MixedResult, workers int) {
+	type verdict struct {
+		diam     int
+		disc     bool
+		measured bool // more than one alive node remained after the probe
+	}
+	items := e.n + len(edges)
+	chosen := graph.NewBitset(items)
+	verdicts := make([]verdict, items)
+	// Per-worker clones are created lazily and kept in sync with e
+	// across rounds, exactly as in greedyParallel; `chosen` is only
+	// mutated between rounds, so workers may read it freely.
+	clones := make([]*Engine, workers)
+	for round := 0; round < f; round++ {
+		for i := range verdicts {
+			verdicts[i] = verdict{}
+		}
+		var nextCand atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				var c *Engine // fetched only if this worker gets a candidate
+				for {
+					v := int(nextCand.Add(1)) - 1
+					if v >= items {
+						return
+					}
+					if chosen.Has(v) {
+						continue
+					}
+					if c == nil {
+						if clones[w] == nil {
+							clones[w] = e.Clone()
+						}
+						c = clones[w]
+					}
+					c.toggleItem(v, edges, true)
+					if c.AliveCount() > 1 {
+						diam, ok := c.Diameter()
+						verdicts[v] = verdict{diam: diam, disc: !ok, measured: true}
+					}
+					c.toggleItem(v, edges, false)
+				}
+			}(w)
+		}
+		wg.Wait()
+		bestV, bestDiam, bestDisc := -1, -1, false
+		for v := 0; v < items; v++ {
+			if chosen.Has(v) {
+				continue
+			}
+			res.Evaluated++
+			cand := verdicts[v]
+			if !cand.measured {
+				continue
+			}
+			if cand.disc && !bestDisc {
+				bestV, bestDiam, bestDisc = v, cand.diam, true
+			} else if !cand.disc && !bestDisc && cand.diam > bestDiam {
+				bestV, bestDiam = v, cand.diam
+			}
+		}
+		if bestV == -1 {
+			break
+		}
+		chosen.Add(bestV)
+		e.toggleItem(bestV, edges, true)
+		for _, c := range clones {
+			if c != nil {
+				c.toggleItem(bestV, edges, true)
+			}
+		}
+		if bestDisc {
+			if !res.Disconnected {
+				res.Disconnected = true
+				res.WorstNodeFaults = e.faults.Clone()
+				res.WorstEdgeFaults = e.EdgeFaults()
+			}
+			return
+		}
+		if !res.Disconnected && bestDiam > res.MaxDiameter {
+			res.MaxDiameter = bestDiam
+			res.WorstNodeFaults = e.faults.Clone()
+			res.WorstEdgeFaults = e.EdgeFaults()
+		}
+	}
 }
 
 // legacyExhaustiveParallel partitions the enumeration by first element

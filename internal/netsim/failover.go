@@ -1,0 +1,137 @@
+package netsim
+
+import (
+	"fmt"
+	"sort"
+
+	"ftroute/internal/routing"
+)
+
+// This file runs workloads over static-failover tables instead of
+// source-routed route sequences: each message is forwarded hop by hop
+// through routing.FailoverTables.WalkUnderFaults under the network's
+// current node and link faults. A message whose walk blackholes or
+// loops is not necessarily lost — the stuck node acts as a new source
+// and retries the walk toward the destination (the endpoint-stitching
+// idea of the paper, applied at the table level), up to a bounded
+// number of retries. The run degrades gracefully: every message ends
+// in a per-outcome counter, never an aborted simulation.
+
+// FailoverParams configures a failover workload run.
+type FailoverParams struct {
+	// Tables are the static-failover tables every message is forwarded
+	// by. Required.
+	Tables *routing.FailoverTables
+	// Retries bounds how many times a stuck message restarts its walk
+	// from the node it got stuck at (0 = give up on first failure).
+	Retries int
+}
+
+// FailoverStats summarizes a failover workload run. Messages =
+// Delivered + Blackhole + Loop + SkippedFault.
+type FailoverStats struct {
+	Messages     int
+	Delivered    int
+	Blackhole    int // gave up with no live entry (after retries)
+	Loop         int // gave up in a forwarding loop (after retries)
+	SkippedFault int // sends whose endpoint was faulty
+	Retries      int // walk restarts from a stuck node
+	Failovers    int // hops taken on a backup (rank > 0) entry
+	TotalHops    int // link traversals across all walks, including failed ones
+	MaxHops      int // worst link traversals spent on one message
+	// Latency quantiles over delivered messages (simulation time units
+	// per message, not cumulative clock).
+	P50, P99, Max int
+}
+
+// String renders the stats compactly.
+func (s FailoverStats) String() string {
+	return fmt.Sprintf("delivered=%d/%d blackhole=%d loop=%d skipped=%d retries=%d failovers=%d hops(total=%d,max=%d) latency(p50=%d,p99=%d,max=%d)",
+		s.Delivered, s.Messages, s.Blackhole, s.Loop, s.SkippedFault, s.Retries, s.Failovers, s.TotalHops, s.MaxHops, s.P50, s.P99, s.Max)
+}
+
+// RunFailoverWorkload issues the workload's messages in order, applying
+// scheduled node and link fault events between sends, forwarding each
+// message through the failover tables under the network's current
+// faults. The message sequence is drawn exactly like RunWorkload's, so
+// the two runs are directly comparable under the same Workload and
+// schedule. Each walk segment (the initial walk plus each retry) is
+// charged EndpointCost once plus HopCost per link, and the clock
+// advances by each message's total time.
+func (nw *Network) RunFailoverWorkload(wl Workload, schedule []FaultEvent, fp FailoverParams) (FailoverStats, error) {
+	if fp.Tables == nil {
+		return FailoverStats{}, fmt.Errorf("netsim: RunFailoverWorkload requires tables")
+	}
+	if wl.Messages < 0 {
+		return FailoverStats{}, fmt.Errorf("netsim: negative message count")
+	}
+	n := nw.r.Graph().N()
+	if n < 2 {
+		return FailoverStats{}, fmt.Errorf("netsim: need at least two nodes")
+	}
+	if fp.Tables.N() != n {
+		return FailoverStats{}, fmt.Errorf("netsim: tables over %d nodes, graph has %d", fp.Tables.N(), n)
+	}
+	events := append([]FaultEvent(nil), schedule...)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].AfterMessage < events[j].AfterMessage })
+	rng := newWorkloadRNG(wl)
+	var stats FailoverStats
+	var latencies []int
+	next := 0
+	for i := 0; i < wl.Messages; i++ {
+		for next < len(events) && events[next].AfterMessage <= i {
+			events[next].apply(nw)
+			next++
+		}
+		src, dst := drawPair(rng, n, wl)
+		stats.Messages++
+		faults := nw.faultSet()
+		if faults.NodeFaulty(src) || faults.NodeFaulty(dst) {
+			stats.SkippedFault++
+			continue
+		}
+		hops, segments := 0, 0
+		at := src
+		outcome := routing.Delivered
+		for {
+			res := fp.Tables.WalkUnderFaults(at, dst, faults)
+			segments++
+			hops += res.Hops
+			stats.Failovers += res.Failovers
+			outcome = res.Outcome
+			if res.Outcome == routing.Delivered {
+				break
+			}
+			stuck := res.Path[len(res.Path)-1]
+			// Give up when out of retries or the walk made no progress
+			// (restarting from the same node would repeat it verbatim).
+			if segments > fp.Retries || stuck == at {
+				break
+			}
+			at = stuck
+			stats.Retries++
+		}
+		stats.TotalHops += hops
+		if hops > stats.MaxHops {
+			stats.MaxHops = hops
+		}
+		switch outcome {
+		case routing.Delivered:
+			stats.Delivered++
+			t := hops*nw.params.hop() + segments*nw.params.endpoint()
+			nw.now += t
+			latencies = append(latencies, t)
+		case routing.Blackhole:
+			stats.Blackhole++
+		default:
+			stats.Loop++
+		}
+	}
+	if len(latencies) > 0 {
+		sort.Ints(latencies)
+		stats.P50 = latencies[len(latencies)/2]
+		stats.P99 = latencies[len(latencies)*99/100]
+		stats.Max = latencies[len(latencies)-1]
+	}
+	return stats, nil
+}

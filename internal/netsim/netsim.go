@@ -17,6 +17,7 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"sort"
 
 	"ftroute/internal/graph"
 	"ftroute/internal/routing"
@@ -54,46 +55,135 @@ func (p Params) endpoint() int {
 }
 
 // Network simulates a network running a fixed routing with a (dynamic)
-// set of faulty nodes.
+// set of faulty nodes and links.
 type Network struct {
 	r      *routing.Routing
 	params Params
 	faults *graph.Bitset
-	// surviving is recomputed lazily after fault changes.
+	// lfaults holds the currently failed links, normalized.
+	lfaults map[routing.EdgeFault]bool
+	// surviving is recomputed lazily after fault changes; nodeOnly is
+	// its node-faults-only counterpart, used to attribute unreachables
+	// to link cuts versus node failures.
 	surviving *graph.Digraph
+	nodeOnly  *graph.Digraph
+	// faultView is the lazily rebuilt FaultSet handed to failover walks.
+	faultView *routing.FaultSet
 	now       int
 }
 
 // New creates a simulator over a routing with no faults.
 func New(r *routing.Routing, params Params) *Network {
-	return &Network{r: r, params: params, faults: graph.NewBitset(r.Graph().N())}
+	return &Network{r: r, params: params, faults: graph.NewBitset(r.Graph().N()), lfaults: make(map[routing.EdgeFault]bool)}
 }
 
 // Now returns the simulation clock.
 func (nw *Network) Now() int { return nw.now }
 
+// invalidate drops every cache derived from the fault state.
+func (nw *Network) invalidate() {
+	nw.surviving = nil
+	nw.nodeOnly = nil
+	nw.faultView = nil
+}
+
 // Fail marks a node faulty. Subsequent sends observe the new fault set.
 func (nw *Network) Fail(v int) {
 	nw.faults.Add(v)
-	nw.surviving = nil
+	nw.invalidate()
 }
 
 // Repair clears a node's fault.
 func (nw *Network) Repair(v int) {
 	nw.faults.Remove(v)
-	nw.surviving = nil
+	nw.invalidate()
 }
 
-// Faults returns a copy of the current fault set.
+// FailLink marks the undirected link {u, v} faulty: every route
+// traversing it is dead until repaired.
+func (nw *Network) FailLink(u, v int) {
+	nw.lfaults[routing.EdgeFault{U: u, V: v}.Normalize()] = true
+	nw.invalidate()
+}
+
+// RepairLink clears the link fault on {u, v}.
+func (nw *Network) RepairLink(u, v int) {
+	delete(nw.lfaults, routing.EdgeFault{U: u, V: v}.Normalize())
+	nw.invalidate()
+}
+
+// Faults returns a copy of the current node fault set.
 func (nw *Network) Faults() *graph.Bitset { return nw.faults.Clone() }
 
-// SurvivingGraph returns the current surviving route graph, recomputing
-// it after fault changes.
+// LinkFaults returns the currently failed links, normalized and sorted.
+func (nw *Network) LinkFaults() []routing.EdgeFault {
+	out := make([]routing.EdgeFault, 0, len(nw.lfaults))
+	for e := range nw.lfaults {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// SurvivingGraph returns the current surviving route graph under both
+// node and link faults, recomputing it after fault changes.
 func (nw *Network) SurvivingGraph() *graph.Digraph {
 	if nw.surviving == nil {
-		nw.surviving = nw.r.SurvivingGraph(nw.faults)
+		if len(nw.lfaults) == 0 {
+			nw.surviving = nw.r.SurvivingGraph(nw.faults)
+		} else {
+			nw.surviving = nw.r.SurvivingGraphMixed(nw.faults, nw.LinkFaults())
+		}
 	}
 	return nw.surviving
+}
+
+// reachableNodesOnly reports whether dst is reachable from src in the
+// surviving route graph when only node faults (not link cuts) apply —
+// the counterfactual that attributes an unreachable to the link cuts.
+func (nw *Network) reachableNodesOnly(src, dst int) bool {
+	if nw.nodeOnly == nil {
+		nw.nodeOnly = nw.r.SurvivingGraph(nw.faults)
+	}
+	return routeParents(nw.nodeOnly, src, dst)[dst] != -2
+}
+
+// faultSet returns the current faults as the FaultSet view failover
+// walks consume, rebuilt lazily after fault changes.
+func (nw *Network) faultSet() *routing.FaultSet {
+	if nw.faultView == nil {
+		nw.faultView = routing.FaultSetOf(nw.r.Graph().N(), nw.faults.Elements(), nw.LinkFaults())
+	}
+	return nw.faultView
+}
+
+// routeParents runs a BFS over the surviving route graph from src,
+// stopping once dst is labeled, and returns the parent array (-2 =
+// unreached, -1 = root).
+func routeParents(d *graph.Digraph, src, dst int) []int {
+	n := d.N()
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = -2
+	}
+	parent[src] = -1
+	queue := []int{src}
+	for head := 0; head < len(queue) && parent[dst] == -2; head++ {
+		u := queue[head]
+		for _, v := range d.OutNeighbors(u) {
+			if parent[v] != -2 || d.Disabled(v) {
+				continue
+			}
+			parent[v] = u
+			queue = append(queue, v)
+		}
+	}
+	return parent
 }
 
 // Delivery reports one successful message delivery.
@@ -118,23 +208,7 @@ func (nw *Network) Send(src, dst int) (*Delivery, error) {
 	}
 	d := nw.SurvivingGraph()
 	// BFS in the surviving route graph for the route sequence.
-	n := d.N()
-	parent := make([]int, n)
-	for i := range parent {
-		parent[i] = -2
-	}
-	parent[src] = -1
-	queue := []int{src}
-	for head := 0; head < len(queue) && parent[dst] == -2; head++ {
-		u := queue[head]
-		for _, v := range d.OutNeighbors(u) {
-			if parent[v] != -2 || d.Disabled(v) {
-				continue
-			}
-			parent[v] = u
-			queue = append(queue, v)
-		}
-	}
+	parent := routeParents(d, src, dst)
 	if parent[dst] == -2 {
 		return nil, fmt.Errorf("%w: %d -> %d (faults %v)", ErrUnreachable, src, dst, nw.faults)
 	}

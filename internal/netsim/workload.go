@@ -7,6 +7,24 @@ import (
 	"sort"
 )
 
+// newWorkloadRNG seeds the workload's deterministic message stream.
+func newWorkloadRNG(wl Workload) *rand.Rand { return rand.New(rand.NewSource(wl.Seed)) }
+
+// drawPair draws one (src, dst) request. RunWorkload and
+// RunFailoverWorkload share it, so the same Workload produces the same
+// message sequence under either forwarding model.
+func drawPair(rng *rand.Rand, n int, wl Workload) (src, dst int) {
+	src = rng.Intn(n)
+	dst = rng.Intn(n)
+	if wl.HotspotFraction > 0 && rng.Float64() < wl.HotspotFraction {
+		dst = wl.Hotspot
+	}
+	for dst == src {
+		dst = (dst + 1) % n
+	}
+	return src, dst
+}
+
 // Workload generates message send requests for the simulator.
 type Workload struct {
 	// Messages is the number of sends to issue.
@@ -20,21 +38,44 @@ type Workload struct {
 	Hotspot         int
 }
 
-// FaultEvent is a scheduled change in a node's health.
+// FaultEvent is a scheduled change in the health of a node or a link.
+// With Link false the event fails/repairs Node; with Link true it
+// fails/repairs the undirected link {U, V} and Node is ignored.
 type FaultEvent struct {
 	AfterMessage int // apply before issuing this message index (0-based)
 	Node         int
+	Link         bool // true = the event targets link {U, V}
+	U, V         int  // link endpoints when Link is true
 	Repair       bool // false = fail, true = repair
+}
+
+// apply replays the event onto the network.
+func (ev FaultEvent) apply(nw *Network) {
+	switch {
+	case ev.Link && ev.Repair:
+		nw.RepairLink(ev.U, ev.V)
+	case ev.Link:
+		nw.FailLink(ev.U, ev.V)
+	case ev.Repair:
+		nw.Repair(ev.Node)
+	default:
+		nw.Fail(ev.Node)
+	}
 }
 
 // Stats summarizes a workload run.
 type Stats struct {
-	Delivered    int
-	Unreachable  int // sends with no surviving route sequence
-	SkippedFault int // sends whose endpoint was faulty
-	TotalRoutes  int // total route traversals across deliveries
-	MaxRoutes    int // worst route traversals in one delivery
-	TotalHops    int
+	Delivered   int
+	Unreachable int // sends with no surviving route sequence even ignoring link cuts
+	// UnreachableLink counts sends that only the current link cuts
+	// strand: the destination was reachable in the node-faults-only
+	// surviving graph. Separating the two shows how much damage the
+	// edge faults add on top of the node faults.
+	UnreachableLink int
+	SkippedFault    int // sends whose endpoint was faulty
+	TotalRoutes     int // total route traversals across deliveries
+	MaxRoutes       int // worst route traversals in one delivery
+	TotalHops       int
 	// Latency quantiles over delivered messages (simulation time units
 	// per message, not cumulative clock).
 	P50, P99, Max int
@@ -42,8 +83,8 @@ type Stats struct {
 
 // String renders the stats compactly.
 func (s Stats) String() string {
-	return fmt.Sprintf("delivered=%d unreachable=%d skipped=%d routes(total=%d,max=%d) hops=%d latency(p50=%d,p99=%d,max=%d)",
-		s.Delivered, s.Unreachable, s.SkippedFault, s.TotalRoutes, s.MaxRoutes, s.TotalHops, s.P50, s.P99, s.Max)
+	return fmt.Sprintf("delivered=%d unreachable=%d unreachable-link=%d skipped=%d routes(total=%d,max=%d) hops=%d latency(p50=%d,p99=%d,max=%d)",
+		s.Delivered, s.Unreachable, s.UnreachableLink, s.SkippedFault, s.TotalRoutes, s.MaxRoutes, s.TotalHops, s.P50, s.P99, s.Max)
 }
 
 // RunWorkload issues the workload's messages in order, applying
@@ -60,27 +101,16 @@ func (nw *Network) RunWorkload(wl Workload, schedule []FaultEvent) (Stats, error
 	}
 	events := append([]FaultEvent(nil), schedule...)
 	sort.SliceStable(events, func(i, j int) bool { return events[i].AfterMessage < events[j].AfterMessage })
-	rng := rand.New(rand.NewSource(wl.Seed))
+	rng := newWorkloadRNG(wl)
 	var stats Stats
 	var latencies []int
 	next := 0
 	for i := 0; i < wl.Messages; i++ {
 		for next < len(events) && events[next].AfterMessage <= i {
-			if events[next].Repair {
-				nw.Repair(events[next].Node)
-			} else {
-				nw.Fail(events[next].Node)
-			}
+			events[next].apply(nw)
 			next++
 		}
-		src := rng.Intn(n)
-		dst := rng.Intn(n)
-		if wl.HotspotFraction > 0 && rng.Float64() < wl.HotspotFraction {
-			dst = wl.Hotspot
-		}
-		for dst == src {
-			dst = (dst + 1) % n
-		}
+		src, dst := drawPair(rng, n, wl)
 		start := nw.Now()
 		del, err := nw.Send(src, dst)
 		switch {
@@ -93,7 +123,11 @@ func (nw *Network) RunWorkload(wl Workload, schedule []FaultEvent) (Stats, error
 			}
 			latencies = append(latencies, del.Time-start)
 		case errors.Is(err, ErrUnreachable):
-			stats.Unreachable++
+			if len(nw.lfaults) > 0 && nw.reachableNodesOnly(src, dst) {
+				stats.UnreachableLink++
+			} else {
+				stats.Unreachable++
+			}
 		case errors.Is(err, ErrFaulty):
 			stats.SkippedFault++
 		default:

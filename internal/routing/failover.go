@@ -1,0 +1,438 @@
+package routing
+
+import (
+	"fmt"
+	"sort"
+
+	"ftroute/internal/graph"
+)
+
+// This file implements static-failover forwarding: the table-level
+// resilience model of Chiesa et al. ("Exploring the Limits of Static
+// Failover Routing") layered over the paper's fixed routings. Where
+// ForwardingTables hold exactly one next hop per (at, src, dst) decision,
+// FailoverTables hold a *ranked* list: the primary route's hop first,
+// then backups contributed by the pair's parallel routes. A switch that
+// sees its preferred outgoing link (or neighbor) dead falls through to
+// the next live entry — a purely local decision with no packet header
+// rewriting and no global recomputation, which is exactly what deployed
+// fast-reroute mechanisms do.
+//
+// Backups come from two sources:
+//
+//   - CompileFailover(m): each of a MultiRouting's parallel routes for a
+//     pair contributes its next hop at every node it traverses, ranked in
+//     route order (Section 6 multiroutings become failover tables
+//     directly);
+//   - Reinforce(r, k): Lenzen–Medina-style reinforcement ("Robust
+//     Routing Made Easy") of a single routing — every pair keeps its
+//     primary route and gains up to k backup routes, each a shortest
+//     path avoiding the links used by the routes already chosen for the
+//     pair, so successive backups survive the cuts that kill their
+//     predecessors.
+//
+// Because the tables are static and forwarding is memoryless, a walk
+// under a fixed fault set is deterministic, and exactly three outcomes
+// are possible: the packet is Delivered, it hits a Blackhole (some node
+// has no live entry for the pair), or it enters a forwarding Loop
+// (revisits a node, hence cycles forever). WalkUnderFaults detects and
+// classifies all three in at most AliveNodes hops. Chiesa et al. show
+// static failover cannot always avoid the latter two once cuts exceed
+// the routing's tolerance; package eval's link-cut adversary searches
+// for the cut sets that trigger them.
+
+// Outcome classifies one static-failover walk.
+type Outcome int
+
+const (
+	// Delivered: the packet reached its destination.
+	Delivered Outcome = iota
+	// Blackhole: some node on the walk had no live next hop for the
+	// pair (every entry pointed at a faulty link or node, or the node
+	// held no entry at all).
+	Blackhole
+	// Loop: the walk revisited a node. Forwarding is deterministic
+	// under a static fault set, so a revisit proves the packet would
+	// cycle forever.
+	Loop
+)
+
+// String renders the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Delivered:
+		return "delivered"
+	case Blackhole:
+		return "blackhole"
+	case Loop:
+		return "loop"
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
+}
+
+// FaultSet is a static set of faulty nodes and links, the environment a
+// failover walk runs in. The zero value is unusable; create with
+// NewFaultSet. Links are stored normalized, so {u,v} and {v,u} denote
+// the same fault.
+type FaultSet struct {
+	nodes *graph.Bitset
+	links map[EdgeFault]bool
+}
+
+// NewFaultSet returns an empty fault set over n nodes.
+func NewFaultSet(n int) *FaultSet {
+	return &FaultSet{nodes: graph.NewBitset(n), links: make(map[EdgeFault]bool)}
+}
+
+// FaultSetOf returns a fault set with the given faulty nodes and links.
+func FaultSetOf(n int, nodes []int, links []EdgeFault) *FaultSet {
+	f := NewFaultSet(n)
+	for _, v := range nodes {
+		f.FailNode(v)
+	}
+	for _, e := range links {
+		f.FailLink(e.U, e.V)
+	}
+	return f
+}
+
+// FailNode marks v faulty.
+func (f *FaultSet) FailNode(v int) { f.nodes.Add(v) }
+
+// RepairNode clears v's fault.
+func (f *FaultSet) RepairNode(v int) { f.nodes.Remove(v) }
+
+// FailLink marks the undirected link {u, v} faulty.
+func (f *FaultSet) FailLink(u, v int) { f.links[EdgeFault{U: u, V: v}.Normalize()] = true }
+
+// RepairLink clears the link fault on {u, v}.
+func (f *FaultSet) RepairLink(u, v int) { delete(f.links, EdgeFault{U: u, V: v}.Normalize()) }
+
+// NodeFaulty reports whether v is faulty.
+func (f *FaultSet) NodeFaulty(v int) bool { return f.nodes.Has(v) }
+
+// LinkFaulty reports whether the link {u, v} is faulty.
+func (f *FaultSet) LinkFaulty(u, v int) bool { return f.links[EdgeFault{U: u, V: v}.Normalize()] }
+
+// NodeFaults returns the faulty nodes as a bitset copy.
+func (f *FaultSet) NodeFaults() *graph.Bitset { return f.nodes.Clone() }
+
+// LinkFaults returns the faulty links, normalized and sorted.
+func (f *FaultSet) LinkFaults() []EdgeFault {
+	out := make([]EdgeFault, 0, len(f.links))
+	for e := range f.links {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// WalkResult reports one static-failover walk.
+type WalkResult struct {
+	Outcome Outcome
+	// Path is the node sequence traversed: from src up to the
+	// destination (Delivered), the node with no live entry (Blackhole),
+	// or the first revisited node (Loop).
+	Path Path
+	// Hops is len(Path)-1: link traversals before the outcome.
+	Hops int
+	// Failovers counts hops that used a backup (rank > 0) entry.
+	Failovers int
+}
+
+// FailoverTables hold, per (at-node, src, dst), a ranked list of next
+// hops: the primary route's hop first, backups after it in route order.
+// They are immutable after compilation and safe for concurrent walks.
+type FailoverTables struct {
+	n       int
+	next    map[hopKey][]int32
+	perNode []int32    // entries held by each node
+	pairs   [][2]int32 // ordered pairs with at least one entry, sorted
+	maxRank int
+}
+
+// CompileFailover builds failover tables from a multirouting: route i of
+// a pair contributes, at every node it traverses, its next hop at rank
+// i (duplicate next hops at a node collapse into the earlier rank).
+// Section 6 multiroutings and Reinforce outputs compile directly.
+func CompileFailover(m *MultiRouting) *FailoverTables {
+	ft := newFailoverTables(m.Graph().N())
+	for _, k := range m.sortedPairKeys() {
+		ft.addRoutes(int(k.u), int(k.v), m.routes[k])
+	}
+	ft.finish()
+	return ft
+}
+
+// FailoverFromRouting builds rank-1 failover tables from a single
+// routing: the same entries as Compile, in the ranked representation.
+// Walks over these tables succeed exactly when the pair's one route
+// survives, which is the bridge between table-level and
+// surviving-route-graph semantics (see TestWalkMatchesSurvivingGraph).
+func FailoverFromRouting(r *Routing) *FailoverTables {
+	ft := newFailoverTables(r.g.N())
+	for _, k := range r.sortedPairKeys() {
+		ft.addRoutes(int(k.u), int(k.v), []Path{r.routes[k]})
+	}
+	ft.finish()
+	return ft
+}
+
+// newFailoverTables returns an empty table set over n nodes.
+func newFailoverTables(n int) *FailoverTables {
+	return &FailoverTables{n: n, next: make(map[hopKey][]int32), perNode: make([]int32, n)}
+}
+
+// addRoutes installs the ranked entries of one ordered pair.
+func (ft *FailoverTables) addRoutes(u, v int, routes []Path) {
+	if len(routes) == 0 {
+		return
+	}
+	ft.pairs = append(ft.pairs, [2]int32{int32(u), int32(v)})
+	for _, p := range routes {
+		for i := 0; i+1 < len(p); i++ {
+			key := hopKey{at: int32(p[i]), u: int32(u), v: int32(v)}
+			nx := int32(p[i+1])
+			ranked := ft.next[key]
+			if containsHop(ranked, nx) {
+				continue
+			}
+			if len(ranked) == 0 {
+				ft.perNode[p[i]]++
+			}
+			ft.next[key] = append(ranked, nx)
+		}
+	}
+}
+
+// finish sorts the pair list and records the deepest rank.
+func (ft *FailoverTables) finish() {
+	sort.Slice(ft.pairs, func(i, j int) bool {
+		if ft.pairs[i][0] != ft.pairs[j][0] {
+			return ft.pairs[i][0] < ft.pairs[j][0]
+		}
+		return ft.pairs[i][1] < ft.pairs[j][1]
+	})
+	for _, ranked := range ft.next {
+		if len(ranked) > ft.maxRank {
+			ft.maxRank = len(ranked)
+		}
+	}
+}
+
+func containsHop(ranked []int32, nx int32) bool {
+	for _, h := range ranked {
+		if h == nx {
+			return true
+		}
+	}
+	return false
+}
+
+// N returns the node count the tables were compiled for.
+func (ft *FailoverTables) N() int { return ft.n }
+
+// MaxRank returns the deepest ranked-entry list (1 = no backups).
+func (ft *FailoverTables) MaxRank() int { return ft.maxRank }
+
+// Entries returns the number of (at, src, dst) decisions with at least
+// one next hop — comparable to ForwardingTables.Entries.
+func (ft *FailoverTables) Entries() int { return len(ft.next) }
+
+// EntriesAt returns the number of decisions held by one node.
+func (ft *FailoverTables) EntriesAt(node int) int {
+	if node < 0 || node >= ft.n {
+		return 0
+	}
+	return int(ft.perNode[node])
+}
+
+// Pairs returns the ordered pairs with at least one table entry, sorted
+// lexicographically. The slice is shared; callers must not mutate it.
+func (ft *FailoverTables) Pairs() [][2]int32 { return ft.pairs }
+
+// NextRanked returns the ranked next hops at node `at` for the pair
+// (src, dst), primary first. The slice is shared; callers must not
+// mutate it.
+func (ft *FailoverTables) NextRanked(at, src, dst int) []int32 {
+	return ft.next[hopKey{at: int32(at), u: int32(src), v: int32(dst)}]
+}
+
+// WalkUnderFaults forwards a packet from src to dst hop by hop with
+// local failover: at each node the first live ranked entry is taken,
+// where an entry nx is live iff neither the link to nx nor nx itself is
+// faulty. The walk is deterministic, always terminates within
+// min(alive, n) hops, and always returns one of the three classified
+// outcomes. A faulty src or dst blackholes immediately (the packet can
+// be neither sent nor received).
+func (ft *FailoverTables) WalkUnderFaults(src, dst int, faults *FaultSet) WalkResult {
+	if faults == nil {
+		faults = NewFaultSet(ft.n)
+	}
+	if faults.NodeFaulty(src) || faults.NodeFaulty(dst) {
+		return WalkResult{Outcome: Blackhole, Path: Path{src}}
+	}
+	if src == dst {
+		return WalkResult{Outcome: Delivered, Path: Path{src}}
+	}
+	res := WalkResult{Path: Path{src}}
+	visited := make([]uint64, (ft.n+63)/64)
+	visited[src>>6] |= 1 << (uint(src) & 63)
+	at := src
+	for {
+		nx, rank := ft.liveNext(at, src, dst, faults)
+		if nx < 0 {
+			res.Outcome = Blackhole
+			return res
+		}
+		if rank > 0 {
+			res.Failovers++
+		}
+		res.Path = append(res.Path, nx)
+		res.Hops++
+		if nx == dst {
+			res.Outcome = Delivered
+			return res
+		}
+		w, bit := nx>>6, uint64(1)<<(uint(nx)&63)
+		if visited[w]&bit != 0 {
+			res.Outcome = Loop
+			return res
+		}
+		visited[w] |= bit
+		at = nx
+	}
+}
+
+// liveNext returns the first live ranked entry at `at` for (src, dst)
+// and its rank, or (-1, -1) if no entry is live.
+func (ft *FailoverTables) liveNext(at, src, dst int, faults *FaultSet) (int, int) {
+	for rank, nx := range ft.next[hopKey{at: int32(at), u: int32(src), v: int32(dst)}] {
+		n := int(nx)
+		if faults.NodeFaulty(n) || faults.LinkFaulty(at, n) {
+			continue
+		}
+		return n, rank
+	}
+	return -1, -1
+}
+
+// Reinforce builds a failover-ready multirouting from a single routing,
+// in the spirit of Lenzen–Medina's "Robust Routing Made Easy": every
+// routed pair keeps its primary route and gains up to backups additional
+// routes, where backup i is a BFS shortest path (deterministic
+// smallest-id tie-breaking) in the graph with the links of all routes
+// already chosen for the pair removed. Successive backups are therefore
+// link-disjoint from their predecessors: any cut set that kills the
+// primary leaves the first backup intact unless it also spends budget on
+// the backup's own links. Pairs whose residual graph disconnects simply
+// stop early — reinforcement degrades gracefully on sparse graphs.
+func Reinforce(r *Routing, backups int) (*MultiRouting, error) {
+	if backups < 0 {
+		backups = 0
+	}
+	g := r.g
+	m := NewMulti(g, backups+1, false)
+	var firstErr error
+	for _, k := range r.sortedPairKeys() {
+		primary := r.routes[k]
+		if err := m.Add(primary); err != nil {
+			return nil, err
+		}
+		used := make(map[EdgeFault]bool)
+		markPathLinks(primary, used)
+		for b := 0; b < backups; b++ {
+			alt := shortestPathAvoidingLinks(g, int(k.u), int(k.v), used)
+			if alt == nil {
+				break
+			}
+			added, err := m.AddCapped(alt)
+			if err != nil {
+				firstErr = err
+				break
+			}
+			if !added {
+				break
+			}
+			markPathLinks(alt, used)
+		}
+	}
+	return m, firstErr
+}
+
+// sortedPairKeys returns the routing's pair keys in lexicographic order,
+// giving deterministic compilation and reinforcement.
+func (r *Routing) sortedPairKeys() []pairKey {
+	keys := make([]pairKey, 0, len(r.routes))
+	for k := range r.routes {
+		keys = append(keys, k)
+	}
+	sortPairKeys(keys)
+	return keys
+}
+
+// sortedPairKeys is the multirouting analogue.
+func (m *MultiRouting) sortedPairKeys() []pairKey {
+	keys := make([]pairKey, 0, len(m.routes))
+	for k := range m.routes {
+		keys = append(keys, k)
+	}
+	sortPairKeys(keys)
+	return keys
+}
+
+func sortPairKeys(keys []pairKey) {
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].u != keys[j].u {
+			return keys[i].u < keys[j].u
+		}
+		return keys[i].v < keys[j].v
+	})
+}
+
+// markPathLinks adds p's links to used, normalized.
+func markPathLinks(p Path, used map[EdgeFault]bool) {
+	for i := 0; i+1 < len(p); i++ {
+		used[EdgeFault{U: p[i], V: p[i+1]}.Normalize()] = true
+	}
+}
+
+// shortestPathAvoidingLinks runs a BFS from u to v that never traverses
+// a link in avoid, with deterministic smallest-id tie-breaking (the same
+// rule as ShortestPath). It returns nil when v is unreachable.
+func shortestPathAvoidingLinks(g *graph.Graph, u, v int, avoid map[EdgeFault]bool) Path {
+	n := g.N()
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = -2
+	}
+	parent[u] = -1
+	queue := []int32{int32(u)}
+	for head := 0; head < len(queue); head++ {
+		x := int(queue[head])
+		if x == v {
+			break
+		}
+		g.EachNeighbor(x, func(y int) bool {
+			if parent[y] == -2 && !avoid[EdgeFault{U: x, V: y}.Normalize()] {
+				parent[y] = int32(x)
+				queue = append(queue, int32(y))
+			}
+			return true
+		})
+	}
+	if parent[v] == -2 {
+		return nil
+	}
+	rev := Path{v}
+	for x := v; parent[x] >= 0; {
+		x = int(parent[x])
+		rev = append(rev, x)
+	}
+	return rev.Reversed()
+}

@@ -1,0 +1,262 @@
+package routing
+
+import (
+	"testing"
+
+	"ftroute/internal/gen"
+	"ftroute/internal/graph"
+)
+
+// diamondGraph is the 4-node graph used to exercise loops: edges
+// 0-1, 1-2, 2-3, 0-2, 1-3.
+func diamondGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New(4)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {0, 2}, {1, 3}} {
+		g.MustAddEdge(e[0], e[1])
+	}
+	return g
+}
+
+func TestFailoverFromRoutingMatchesForwardingWalk(t *testing.T) {
+	g := gen.Petersen()
+	r, err := ShortestPath(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := Compile(r)
+	fo := FailoverFromRouting(r)
+	if fo.MaxRank() != 1 {
+		t.Fatalf("rank-1 tables report MaxRank %d", fo.MaxRank())
+	}
+	if fo.Entries() != plain.Entries() {
+		t.Fatalf("entries %d vs %d", fo.Entries(), plain.Entries())
+	}
+	none := NewFaultSet(g.N())
+	r.Each(func(u, v int, p Path) {
+		res := fo.WalkUnderFaults(u, v, none)
+		if res.Outcome != Delivered {
+			t.Fatalf("(%d,%d): %v", u, v, res.Outcome)
+		}
+		walked, err := plain.Walk(u, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Path.Equal(walked) {
+			t.Fatalf("(%d,%d): failover path %v vs forwarding path %v", u, v, res.Path, walked)
+		}
+		if res.Failovers != 0 {
+			t.Fatalf("(%d,%d): %d failovers without faults", u, v, res.Failovers)
+		}
+	})
+}
+
+func TestWalkClassifiesLoop(t *testing.T) {
+	g := diamondGraph(t)
+	m := NewMulti(g, 2, false)
+	if err := m.Add(Path{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(Path{0, 2, 1, 3}); err != nil {
+		t.Fatal(err)
+	}
+	ft := CompileFailover(m)
+	faults := NewFaultSet(4)
+	faults.FailLink(2, 3)
+	faults.FailLink(1, 3)
+	res := ft.WalkUnderFaults(0, 3, faults)
+	if res.Outcome != Loop {
+		t.Fatalf("outcome = %v, want Loop (path %v)", res.Outcome, res.Path)
+	}
+	// 0 -> 1 (primary), 1 -> 2 (primary; 3 is cut... rank order at 1 is
+	// [2 3]), 2 -> 1 (backup; 3 is cut): 1 revisited.
+	if !res.Path.Equal(Path{0, 1, 2, 1}) {
+		t.Fatalf("loop path = %v", res.Path)
+	}
+	if res.Failovers == 0 {
+		t.Fatal("loop without any failover hop")
+	}
+}
+
+func TestWalkClassifiesBlackhole(t *testing.T) {
+	g := cycle(t, 6)
+	r, err := ShortestPath(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := FailoverFromRouting(r)
+	faults := NewFaultSet(6)
+	// Isolate node 3 at the link level: no entry at 2 or 4 can cross.
+	faults.FailLink(2, 3)
+	faults.FailLink(3, 4)
+	res := ft.WalkUnderFaults(0, 3, faults)
+	if res.Outcome != Blackhole {
+		t.Fatalf("outcome = %v, want Blackhole", res.Outcome)
+	}
+	if res.Hops != len(res.Path)-1 {
+		t.Fatalf("hops %d vs path %v", res.Hops, res.Path)
+	}
+}
+
+func TestWalkEndpointAndTrivialCases(t *testing.T) {
+	g := cycle(t, 5)
+	r, err := ShortestPath(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := FailoverFromRouting(r)
+	faults := NewFaultSet(5)
+	faults.FailNode(2)
+	if res := ft.WalkUnderFaults(2, 4, faults); res.Outcome != Blackhole {
+		t.Fatalf("faulty src: %v", res.Outcome)
+	}
+	if res := ft.WalkUnderFaults(0, 2, faults); res.Outcome != Blackhole {
+		t.Fatalf("faulty dst: %v", res.Outcome)
+	}
+	if res := ft.WalkUnderFaults(1, 1, faults); res.Outcome != Delivered || res.Hops != 0 {
+		t.Fatalf("self delivery: %+v", res)
+	}
+	// nil fault set means no faults.
+	if res := ft.WalkUnderFaults(0, 2, nil); res.Outcome != Delivered {
+		t.Fatalf("nil faults: %v", res.Outcome)
+	}
+}
+
+func TestReinforceBackupsAreLinkDisjoint(t *testing.T) {
+	g, err := gen.Hypercube(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := ShortestPath(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Reinforce(r, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := 0
+	for u := 0; u < g.N(); u++ {
+		for v := 0; v < g.N(); v++ {
+			if u == v {
+				continue
+			}
+			routes := m.Get(u, v)
+			if len(routes) == 0 {
+				t.Fatalf("(%d,%d) lost its route", u, v)
+			}
+			if p, _ := r.Get(u, v); !routes[0].Equal(p) {
+				t.Fatalf("(%d,%d): primary changed: %v vs %v", u, v, routes[0], p)
+			}
+			// Backup i shares no link with routes 0..i-1.
+			seen := make(map[EdgeFault]bool)
+			for i, p := range routes {
+				for j := 0; j+1 < len(p); j++ {
+					e := EdgeFault{U: p[j], V: p[j+1]}.Normalize()
+					if seen[e] {
+						t.Fatalf("(%d,%d): route %d reuses link %v", u, v, i, e)
+					}
+				}
+				markPathLinks(p, seen)
+			}
+			pairs++
+		}
+	}
+	if pairs != g.N()*(g.N()-1) {
+		t.Fatalf("checked %d pairs", pairs)
+	}
+	// Cutting the first link of every primary must leave the packet
+	// deliverable via the first backup.
+	ft := CompileFailover(m)
+	for u := 0; u < g.N(); u++ {
+		for v := 0; v < g.N(); v++ {
+			if u == v {
+				continue
+			}
+			primary := m.Get(u, v)[0]
+			faults := NewFaultSet(g.N())
+			faults.FailLink(primary[0], primary[1])
+			res := ft.WalkUnderFaults(u, v, faults)
+			if res.Outcome != Delivered {
+				t.Fatalf("(%d,%d) under first-link cut: %v (path %v)", u, v, res.Outcome, res.Path)
+			}
+			if res.Failovers == 0 {
+				t.Fatalf("(%d,%d): delivered without using a backup", u, v)
+			}
+		}
+	}
+}
+
+func TestReinforceStopsWhenDisconnected(t *testing.T) {
+	// On a cycle the primary and one backup exhaust the link-disjoint
+	// paths; a second backup must not exist.
+	g := cycle(t, 5)
+	r, err := ShortestPath(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Reinforce(r, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.MaxRoutesPerPair(); got != 2 {
+		t.Fatalf("cycle pairs carry %d routes, want 2", got)
+	}
+}
+
+func TestEntriesAtMatchesTotal(t *testing.T) {
+	g := gen.Petersen()
+	r, err := ShortestPath(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := Compile(r)
+	sum := 0
+	for v := 0; v < g.N(); v++ {
+		sum += plain.EntriesAt(v)
+	}
+	if sum != plain.Entries() {
+		t.Fatalf("per-node sum %d vs total %d", sum, plain.Entries())
+	}
+	if plain.EntriesAt(-1) != 0 || plain.EntriesAt(g.N()) != 0 {
+		t.Fatal("out-of-range EntriesAt should be 0")
+	}
+	m, err := Reinforce(r, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fo := CompileFailover(m)
+	sum = 0
+	for v := 0; v < g.N(); v++ {
+		sum += fo.EntriesAt(v)
+	}
+	if sum != fo.Entries() {
+		t.Fatalf("failover per-node sum %d vs total %d", sum, fo.Entries())
+	}
+	if len(fo.Pairs()) != g.N()*(g.N()-1) {
+		t.Fatalf("pairs = %d", len(fo.Pairs()))
+	}
+}
+
+func TestFaultSetNormalizesLinks(t *testing.T) {
+	f := NewFaultSet(4)
+	f.FailLink(3, 1)
+	if !f.LinkFaulty(1, 3) || !f.LinkFaulty(3, 1) {
+		t.Fatal("link fault not normalized")
+	}
+	f.RepairLink(1, 3)
+	if f.LinkFaulty(3, 1) {
+		t.Fatal("repair missed the normalized key")
+	}
+	f2 := FaultSetOf(4, []int{2}, []EdgeFault{{U: 3, V: 0}})
+	if !f2.NodeFaulty(2) || !f2.LinkFaulty(0, 3) {
+		t.Fatal("FaultSetOf wrong")
+	}
+	links := f2.LinkFaults()
+	if len(links) != 1 || links[0] != (EdgeFault{U: 0, V: 3}) {
+		t.Fatalf("LinkFaults = %v", links)
+	}
+	if f2.NodeFaults().Count() != 1 {
+		t.Fatal("NodeFaults wrong")
+	}
+}

@@ -13,8 +13,9 @@ import (
 // matches the paper's model where the route is fixed per pair and
 // intermediate nodes forward without computing addresses.
 type ForwardingTables struct {
-	n    int
-	next map[hopKey]int32
+	n       int
+	next    map[hopKey]int32
+	perNode []int32 // entries held by each node, maintained at compile time
 }
 
 // hopKey identifies a (at-node, src, dst) forwarding decision.
@@ -22,10 +23,14 @@ type hopKey struct{ at, u, v int32 }
 
 // Compile builds forwarding tables from every route of r.
 func Compile(r *Routing) *ForwardingTables {
-	ft := &ForwardingTables{n: r.g.N(), next: make(map[hopKey]int32)}
+	ft := &ForwardingTables{n: r.g.N(), next: make(map[hopKey]int32), perNode: make([]int32, r.g.N())}
 	r.Each(func(u, v int, p Path) {
 		for i := 0; i+1 < len(p); i++ {
-			ft.next[hopKey{int32(p[i]), int32(u), int32(v)}] = int32(p[i+1])
+			key := hopKey{int32(p[i]), int32(u), int32(v)}
+			if _, dup := ft.next[key]; !dup {
+				ft.perNode[p[i]]++
+			}
+			ft.next[key] = int32(p[i+1])
 		}
 	})
 	return ft
@@ -45,15 +50,14 @@ func (ft *ForwardingTables) Next(at, src, dst int) (int, bool) {
 // nodes — the table-space cost of the routing.
 func (ft *ForwardingTables) Entries() int { return len(ft.next) }
 
-// EntriesAt returns the number of entries held by one node.
+// EntriesAt returns the number of entries held by one node, from the
+// per-node counts kept at compile time (previously an O(total-entries)
+// scan over the whole table).
 func (ft *ForwardingTables) EntriesAt(node int) int {
-	c := 0
-	for k := range ft.next {
-		if int(k.at) == node {
-			c++
-		}
+	if node < 0 || node >= ft.n {
+		return 0
 	}
-	return c
+	return int(ft.perNode[node])
 }
 
 // Walk forwards a message hop by hop from src toward dst using only the
