@@ -445,9 +445,43 @@ func BenchmarkWalkUnderFaultsCCC4(b *testing.B) {
 	}
 }
 
-// BenchmarkWorstLinkCutsCCC4F1 is the exhaustive link-cut adversary at
-// budget 1: 1 + 96 cut sets, each walking every routed pair.
-func BenchmarkWorstLinkCutsCCC4F1(b *testing.B) {
+// BenchmarkWalkEngineCompileCCC4 measures the one-time WalkEngine
+// compilation (flat walk arrays + initial all-pairs walk + inverted
+// link→pairs indexes) that every adversary search amortizes.
+func BenchmarkWalkEngineCompileCCC4(b *testing.B) {
+	t := ccc4Failover(b)
+	g := ccc4Circular(b).Graph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		we := NewWalkEngine(t, g)
+		if we.Stats().Delivered != we.PairCount() {
+			b.Fatal("cut-free walks must all deliver")
+		}
+	}
+}
+
+// BenchmarkWalkEngineCutToggleCCC4 measures one incremental
+// AddLinkCut+RemoveLinkCut pair — the per-step cost of the exhaustive
+// enumeration tree, re-walking only the pairs whose cached walk crossed
+// the toggled link.
+func BenchmarkWalkEngineCutToggleCCC4(b *testing.B) {
+	t := ccc4Failover(b)
+	g := ccc4Circular(b).Graph()
+	edges := g.Edges()
+	we := NewWalkEngine(t, g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := edges[i%len(edges)]
+		we.AddLinkCut(e[0], e[1])
+		we.RemoveLinkCut(e[0], e[1])
+	}
+}
+
+// BenchmarkWorstLinkCutsEngineCCC4 is the walk-engine headline: the
+// exhaustive budget-1 link-cut adversary (1 + 96 cut sets) through the
+// incremental WalkEngine. CI gates its ns/op ratio against the legacy
+// twin below.
+func BenchmarkWorstLinkCutsEngineCCC4(b *testing.B) {
 	t := ccc4Failover(b)
 	g := ccc4Circular(b).Graph()
 	b.ResetTimer()
@@ -459,8 +493,38 @@ func BenchmarkWorstLinkCutsCCC4F1(b *testing.B) {
 	}
 }
 
+// BenchmarkWorstLinkCutsLegacyCCC4 is the same budget-1 search through
+// the legacy path that re-walks all 4032 pairs per cut set.
+func BenchmarkWorstLinkCutsLegacyCCC4(b *testing.B) {
+	t := ccc4Failover(b)
+	g := ccc4Circular(b).Graph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := WorstLinkCutsLegacy(t, g, 1, eval.Config{Mode: eval.Exhaustive})
+		if res.Evaluated != 97 {
+			b.Fatalf("evaluated %d", res.Evaluated)
+		}
+	}
+}
+
+// BenchmarkWorstLinkCutsEngineParallelCCC4 adds work-stealing engine
+// clones over first-link enumeration prefixes, at budget 2 so each
+// stolen unit amortizes its clone (budget 1 has one set per unit).
+func BenchmarkWorstLinkCutsEngineParallelCCC4(b *testing.B) {
+	t := ccc4Failover(b)
+	g := ccc4Circular(b).Graph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := WorstLinkCutsParallel(t, g, 2, eval.Config{Mode: eval.Exhaustive}, 0)
+		if res.Evaluated != 4657 {
+			b.Fatalf("evaluated %d", res.Evaluated)
+		}
+	}
+}
+
 // BenchmarkWorstLinkCutsSampledCCC4F2 is the sampled+greedy+concentrator
-// adversary at budget 2 — the scale the failover CLI subcommand runs.
+// adversary at budget 2 — the scale the failover CLI subcommand runs —
+// now engine-backed.
 func BenchmarkWorstLinkCutsSampledCCC4F2(b *testing.B) {
 	t := ccc4Failover(b)
 	g := ccc4Circular(b).Graph()

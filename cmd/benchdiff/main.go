@@ -22,6 +22,10 @@
 // to CI machine-speed variation that absolute ns/op gates misfire on.
 // Every named benchmark must be present in both the run and the
 // baseline; a pair that matches nothing is an error, not a pass.
+//
+// docs/ci.md documents the full CI gate matrix — which ratio pairs are
+// gated, why ratios rather than absolute times, and the exact local
+// repro commands for every job.
 package main
 
 import (

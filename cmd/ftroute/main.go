@@ -6,11 +6,15 @@
 //	ftroute info  -graph <spec>
 //	ftroute plan  -graph <spec>
 //	ftroute route -graph <spec> [-construction auto|kernel|circular|tricircular|bipolar|bipolar-bi]
-//	ftroute tolerate -graph <spec> [-construction ...] [-faults k] [-samples n] [-exhaustive] [-mixed]
-//	ftroute simulate -graph <spec> [-construction ...] [-faults k] [-samples n]
-//	ftroute failover -graph <spec> [-construction ...] [-cuts k] [-backups b] [-retries r] [-messages n] [-samples n] [-exhaustive]
+//	ftroute tolerate -graph <spec> [-construction ...] [-faults k] [-samples n] [-seed s] [-exhaustive] [-mixed]
+//	ftroute simulate -graph <spec> [-construction ...] [-faults k] [-samples n] [-seed s]
+//	ftroute failover -graph <spec> [-construction ...] [-cuts k] [-backups b] [-retries r] [-messages n] [-samples n] [-seed s] [-exhaustive]
 //	ftroute export   -graph <spec> [-construction ...] -table routing.json
-//	ftroute check    -graph <spec> -table routing.json -bound d [-faults k] [-exhaustive]
+//	ftroute check    -graph <spec> -table routing.json -bound d [-faults k] [-seed s] [-exhaustive]
+//
+// All sampled adversaries and simulated workloads draw their randomness
+// from -seed (default 1), so any run reproduces end to end from the
+// command line.
 //
 // Graph specs:
 //
@@ -76,6 +80,7 @@ func run(args []string) error {
 		backups      = fs.Int("backups", 2, "failover: link-disjoint backup routes per pair")
 		retries      = fs.Int("retries", 2, "failover: walk restarts allowed per message in the simulation")
 		messages     = fs.Int("messages", 300, "failover: messages in the fault-injection workload")
+		seed         = fs.Int64("seed", 1, "RNG seed for sampled adversaries and simulated workloads")
 	)
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
@@ -96,15 +101,15 @@ func run(args []string) error {
 		_, _, err := build(g, *construction)
 		return err
 	case "tolerate":
-		return tolerate(g, *construction, *faults, *samples, *exhaustive, *mixed)
+		return tolerate(g, *construction, *faults, *samples, *seed, *exhaustive, *mixed)
 	case "simulate":
-		return simulate(g, *construction, *faults, *samples)
+		return simulate(g, *construction, *faults, *samples, *seed)
 	case "failover":
-		return failover(g, *construction, *cuts, *backups, *retries, *messages, *samples, *exhaustive)
+		return failover(g, *construction, *cuts, *backups, *retries, *messages, *samples, *seed, *exhaustive)
 	case "export":
 		return export(g, *construction, *table)
 	case "check":
-		return check(g, *table, *bound, *faults, *samples, *exhaustive)
+		return check(g, *table, *bound, *faults, *samples, *seed, *exhaustive)
 	default:
 		return fmt.Errorf("%w: unknown subcommand %q", errUsage, cmd)
 	}
@@ -113,7 +118,7 @@ func run(args []string) error {
 // simulate builds the requested routing, fails `faults` spread-out nodes
 // and runs a message workload of `samples` sends, printing delivery
 // statistics and the route-counter broadcast result.
-func simulate(g *ftroute.Graph, construction string, faults, samples int) error {
+func simulate(g *ftroute.Graph, construction string, faults, samples int, seed int64) error {
 	r, bt, err := build(g, construction)
 	if err != nil {
 		return err
@@ -140,7 +145,7 @@ func simulate(g *ftroute.Graph, construction string, faults, samples int) error 
 	if samples <= 0 {
 		samples = 200
 	}
-	stats, err := nw.RunWorkload(netsim.Workload{Messages: samples, Seed: 1}, nil)
+	stats, err := nw.RunWorkload(netsim.Workload{Messages: samples, Seed: seed}, nil)
 	if err != nil {
 		return err
 	}
@@ -170,7 +175,7 @@ func simulate(g *ftroute.Graph, construction string, faults, samples int) error 
 // tables' worst cut as a mid-run fault-injection in the simulator:
 // the cut lands a third of the way through the workload and is repaired
 // at two thirds, with each stuck message retrying from its stuck node.
-func failover(g *ftroute.Graph, construction string, cuts, backups, retries, messages, samples int, exhaustive bool) error {
+func failover(g *ftroute.Graph, construction string, cuts, backups, retries, messages, samples int, seed int64, exhaustive bool) error {
 	r, _, err := build(g, construction)
 	if err != nil {
 		return err
@@ -187,14 +192,14 @@ func failover(g *ftroute.Graph, construction string, cuts, backups, retries, mes
 	reinforced := ftroute.CompileFailover(m)
 	fmt.Printf("tables: plain %d entries (rank 1), reinforced %d entries (rank <= %d)\n",
 		plain.Entries(), reinforced.Entries(), reinforced.MaxRank())
-	cfg := ftroute.EvalConfig{Mode: ftroute.Sampled, Samples: samples, Greedy: true, Seed: 1}
+	cfg := ftroute.EvalConfig{Mode: ftroute.Sampled, Samples: samples, Greedy: true, Seed: seed}
 	mode := "sampled+greedy+concentrator"
 	if exhaustive {
 		cfg = ftroute.EvalConfig{Mode: ftroute.Exhaustive}
 		mode = "exhaustive"
 	}
-	pw := ftroute.WorstLinkCuts(plain, g, cuts, cfg)
-	rw := ftroute.WorstLinkCuts(reinforced, g, cuts, cfg)
+	pw := ftroute.WorstLinkCutsParallel(plain, g, cuts, cfg, 0)
+	rw := ftroute.WorstLinkCutsParallel(reinforced, g, cuts, cfg, 0)
 	fmt.Printf("adversary (%s, budget %d):\n", mode, cuts)
 	fmt.Printf("  plain:      %s\n", pw)
 	fmt.Printf("  reinforced: %s\n", rw)
@@ -208,7 +213,7 @@ func failover(g *ftroute.Graph, construction string, cuts, backups, retries, mes
 			netsim.FaultEvent{AfterMessage: messages / 3, Link: true, U: e.U, V: e.V},
 			netsim.FaultEvent{AfterMessage: 2 * messages / 3, Link: true, U: e.U, V: e.V, Repair: true})
 	}
-	wl := netsim.Workload{Messages: messages, Seed: 1}
+	wl := netsim.Workload{Messages: messages, Seed: seed}
 	fmt.Printf("simulation (%d messages, cut %v injected at %d, repaired at %d, retries %d):\n",
 		messages, pw.Worst, messages/3, 2*messages/3, retries)
 	for _, tc := range []struct {
@@ -257,7 +262,7 @@ func export(g *ftroute.Graph, construction, table string) error {
 
 // check loads a previously exported routing table, re-validates it
 // against the graph and verifies a (bound, faults) tolerance claim.
-func check(g *ftroute.Graph, table string, bound, faults, samples int, exhaustive bool) error {
+func check(g *ftroute.Graph, table string, bound, faults, samples int, seed int64, exhaustive bool) error {
 	if table == "" {
 		return fmt.Errorf("ftroute: check requires -table")
 	}
@@ -279,7 +284,7 @@ func check(g *ftroute.Graph, table string, bound, faults, samples int, exhaustiv
 	if bound < 0 {
 		return fmt.Errorf("ftroute: check requires -bound")
 	}
-	cfg := ftroute.EvalConfig{Mode: ftroute.Sampled, Samples: samples, Greedy: true, Seed: 1}
+	cfg := ftroute.EvalConfig{Mode: ftroute.Sampled, Samples: samples, Greedy: true, Seed: seed}
 	mode := "sampled"
 	if exhaustive {
 		cfg = ftroute.EvalConfig{Mode: ftroute.Exhaustive}
@@ -480,7 +485,7 @@ func build(g *ftroute.Graph, construction string) (interface {
 	}
 }
 
-func tolerate(g *ftroute.Graph, construction string, faults, samples int, exhaustive, mixed bool) error {
+func tolerate(g *ftroute.Graph, construction string, faults, samples int, seed int64, exhaustive, mixed bool) error {
 	r, bt, err := build(g, construction)
 	if err != nil {
 		return err
@@ -489,7 +494,7 @@ func tolerate(g *ftroute.Graph, construction string, faults, samples int, exhaus
 	if f < 0 {
 		f = bt[1]
 	}
-	cfg := ftroute.EvalConfig{Mode: ftroute.Sampled, Samples: samples, Greedy: true, Seed: 1}
+	cfg := ftroute.EvalConfig{Mode: ftroute.Sampled, Samples: samples, Greedy: true, Seed: seed}
 	if exhaustive {
 		cfg = ftroute.EvalConfig{Mode: ftroute.Exhaustive}
 	}

@@ -121,3 +121,153 @@ func TestFailoverWalkMatchesSurvivingRouteGraphCCC3(t *testing.T) {
 		}
 	}
 }
+
+// --- WalkEngine golden equivalence ---
+//
+// The incremental WalkEngine claims exact invalidation: a link toggle
+// re-walks only the pairs whose cached walk crossed (or was deflected
+// by) that link, leaving every other cached outcome untouched. The
+// sweep below drives the engine through the full exhaustive cut
+// enumeration — the access pattern WorstLinkCuts uses — and checks,
+// at every enumerated cut set, the engine's *per-pair* outcomes
+// (delivered / blackhole / loop, hence also the disrupted-pair set,
+// not just its size) against a from-scratch WalkUnderFaults oracle.
+
+// engineAgreesOnCuts compares the engine's cached per-pair outcomes
+// under the current cut set against fresh legacy walks.
+func engineAgreesOnCuts(t *testing.T, we *WalkEngine, ft *FailoverTables, cuts []EdgeFault, loops *int) {
+	t.Helper()
+	faults := FaultSetOf(ft.N(), nil, cuts)
+	disrupted := 0
+	for i, p := range ft.Pairs() {
+		want := ft.WalkUnderFaults(int(p[0]), int(p[1]), faults).Outcome
+		if got := we.Outcome(i); got != want {
+			t.Fatalf("cuts %v: pair (%d,%d) engine outcome %v, legacy %v", cuts, p[0], p[1], got, want)
+		}
+		if want != Delivered {
+			disrupted++
+		}
+		if want == ForwardingLoop {
+			*loops++
+		}
+	}
+	if got := len(we.DisruptedPairs()); got != disrupted {
+		t.Fatalf("cuts %v: engine reports %d disrupted pairs, legacy %d", cuts, got, disrupted)
+	}
+	if got, want := we.Stats().Disrupted(), disrupted; got != want {
+		t.Fatalf("cuts %v: engine stats disrupted %d, legacy %d", cuts, got, want)
+	}
+}
+
+// sweepEngineCuts enumerates every cut set of size 0..budget in the
+// exhaustive lexicographic preorder, toggling the engine one link per
+// step, and checks equivalence at every set. Returns how many pair
+// walks classified as loops across the sweep (so callers can assert
+// the loop leg of the taxonomy was actually exercised).
+func sweepEngineCuts(t *testing.T, g *Graph, ft *FailoverTables, budget int) int {
+	t.Helper()
+	we := NewWalkEngine(ft, g)
+	edges := g.Edges()
+	loops := 0
+	var cur []EdgeFault
+	engineAgreesOnCuts(t, we, ft, cur, &loops)
+	var rec func(start, left int)
+	rec = func(start, left int) {
+		if left == 0 {
+			return
+		}
+		for i := start; i < len(edges); i++ {
+			e := EdgeFault{U: edges[i][0], V: edges[i][1]}
+			we.AddLinkCut(e.U, e.V)
+			cur = append(cur, e)
+			engineAgreesOnCuts(t, we, ft, cur, &loops)
+			rec(i+1, left-1)
+			we.RemoveLinkCut(e.U, e.V)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(0, budget)
+	return loops
+}
+
+// reinforcedTables builds the reinforced shortest-path tables the
+// engine benchmarks anchor on (2 link-disjoint backups per pair).
+func reinforcedTables(t *testing.T, g *Graph) *FailoverTables {
+	t.Helper()
+	r, err := ShortestPathRouting(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Reinforce(r, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return CompileFailover(m)
+}
+
+// TestWalkEngineGoldenCCC3 sweeps every exhaustive cut set of size <= 2
+// on CCC(3) reinforced tables: 1 + 36 + C(36,2) = 667 sets, each
+// checked pair by pair against the legacy walker. (Link-disjoint
+// reinforced shortest paths blackhole rather than loop under these
+// budgets — TestWalkEngineGoldenLoopTaxonomy covers the loop leg.)
+func TestWalkEngineGoldenCCC3(t *testing.T) {
+	g, err := CCC(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweepEngineCuts(t, g, reinforcedTables(t, g), 2)
+}
+
+// TestWalkEngineGoldenLoopTaxonomy sweeps a handcrafted multirouting
+// whose backup entries double back — the Chiesa et al. loop shape that
+// Reinforce's link-disjoint backups avoid — so the blackhole-vs-loop
+// classification is checked on cut sets that actually produce loops:
+// with {1,3} and {2,3} cut, the (0,3) walk goes 0→1→2, is deflected at
+// 2 back to 1, and revisits.
+func TestWalkEngineGoldenLoopTaxonomy(t *testing.T) {
+	g := NewGraph(4)
+	for _, e := range [][2]int{{0, 1}, {0, 2}, {1, 2}, {2, 3}, {1, 3}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := NewMultiRouting(g, 3, false)
+	for _, p := range []Path{{0, 1, 2, 3}, {0, 1, 3}, {0, 2, 1, 3}} {
+		if err := m.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ft := CompileFailover(m)
+	if loops := sweepEngineCuts(t, g, ft, 3); loops == 0 {
+		t.Fatal("the doubled-back tables should loop under some cut set; the loop classification leg went untested")
+	}
+}
+
+// TestWalkEngineGoldenCCC4 sweeps the full budget-1 enumeration on the
+// CCC(4) benchmark anchor (97 sets x 4032 pairs), then seeded random
+// 2-cut sets via SetCuts. The budget-2 enumeration (~4700 sets) is the
+// CCC(3) test's job; re-walking 4032 pairs per set from scratch makes
+// the full CCC(4) sweep too slow for the race-detector CI leg.
+func TestWalkEngineGoldenCCC4(t *testing.T) {
+	g, err := CCC(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := reinforcedTables(t, g)
+	sweepEngineCuts(t, g, ft, 1)
+
+	we := NewWalkEngine(ft, g)
+	edges := g.Edges()
+	rng := rand.New(rand.NewSource(11))
+	loops := 0
+	for trial := 0; trial < 25; trial++ {
+		i := rng.Intn(len(edges))
+		j := rng.Intn(len(edges))
+		cuts := []EdgeFault{{U: edges[i][0], V: edges[i][1]}}
+		if j != i {
+			cuts = append(cuts, EdgeFault{U: edges[j][0], V: edges[j][1]})
+		}
+		we.SetCuts(cuts)
+		engineAgreesOnCuts(t, we, ft, cuts, &loops)
+	}
+}

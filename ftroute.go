@@ -252,6 +252,12 @@ type (
 	LinkCutStats = eval.CutStats
 	// LinkCutResult reports the worst link-cut set found.
 	LinkCutResult = eval.CutResult
+	// WalkEngine is the incremental failover-walk engine: it compiles
+	// FailoverTables once, caches every pair's walk, and re-walks only
+	// the pairs whose cached walk crossed a toggled link on
+	// AddLinkCut/RemoveLinkCut. All link-cut adversary entry points use
+	// it automatically; it is exported for custom search loops.
+	WalkEngine = eval.WalkEngine
 )
 
 // Static-failover walk outcomes.
@@ -278,8 +284,19 @@ var (
 	// FaultSetOf returns a fault set with the given faulty nodes and links.
 	FaultSetOf = routing.FaultSetOf
 	// WorstLinkCuts searches for the cut set disrupting the most pairs
-	// of a failover table set (exhaustive, or sampled+greedy+concentrator).
+	// of a failover table set (exhaustive, or sampled+greedy+concentrator),
+	// incrementally through the WalkEngine.
 	WorstLinkCuts = eval.WorstLinkCuts
+	// WorstLinkCutsParallel fans the link-cut search over worker
+	// goroutines on per-worker WalkEngine clones; results are
+	// bit-for-bit identical to the sequential search.
+	WorstLinkCutsParallel = eval.WorstLinkCutsParallel
+	// WorstLinkCutsLegacy is the re-walk-everything reference
+	// implementation, kept as the equivalence oracle.
+	WorstLinkCutsLegacy = eval.WorstLinkCutsLegacy
+	// NewWalkEngine compiles failover tables into an incremental
+	// walk engine.
+	NewWalkEngine = eval.NewWalkEngine
 	// EvaluateLinkCuts walks every table pair under one cut set.
 	EvaluateLinkCuts = eval.EvaluateCuts
 )

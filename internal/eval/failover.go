@@ -96,15 +96,14 @@ func (r *CutResult) consider(cuts []routing.EdgeFault, s CutStats) {
 	}
 }
 
-// WorstLinkCuts searches for the cut set of size at most budget that
-// disrupts the most (src, dst) pairs of the failover tables t, walking
-// each pair packet-by-packet with local failover. g must be the graph
-// the tables were compiled for (it supplies the cuttable links).
-// Exhaustive mode is exact; the default Sampled mode combines random
-// sampling, the concentrator probe, and (with cfg.Greedy) a greedy
-// grow-one-link adversary. The empty cut set is always evaluated first,
-// so a returned empty Worst means no evaluated cut disrupts anything.
-func WorstLinkCuts(t *routing.FailoverTables, g *graph.Graph, budget int, cfg Config) CutResult {
+// WorstLinkCutsLegacy is the reference implementation of the link-cut
+// adversary: every probed cut set re-walks all pairs from scratch via
+// walkAllPairs. WorstLinkCuts now runs the same search through the
+// incremental WalkEngine and is bit-for-bit equivalent (enumeration
+// orders, tie-breaking and witness included); the legacy path is kept
+// as the oracle for the equivalence tests, the fuzz target and the CI
+// bench-ratio gate.
+func WorstLinkCutsLegacy(t *routing.FailoverTables, g *graph.Graph, budget int, cfg Config) CutResult {
 	if budget < 0 {
 		budget = 0
 	}

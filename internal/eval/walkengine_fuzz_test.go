@@ -1,0 +1,115 @@
+package eval
+
+import (
+	"testing"
+
+	"ftroute/internal/graph"
+	"ftroute/internal/routing"
+)
+
+// fuzzCutGraph mirrors the routing package's fuzzGraph: a cycle
+// backbone over n nodes plus chords selected by the bits of extra, so
+// the corpus explores varied connectivity deterministically.
+func fuzzCutGraph(n int, extra uint64) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.MustAddEdge(i, (i+1)%n)
+	}
+	bit := 0
+	for u := 0; u < n && bit < 64; u++ {
+		for v := u + 2; v < n && bit < 64; v++ {
+			if u == 0 && v == n-1 {
+				continue // already a cycle edge
+			}
+			if extra&(1<<uint(bit)) != 0 {
+				g.MustAddEdge(u, v)
+			}
+			bit++
+		}
+	}
+	return g
+}
+
+// FuzzWalkEngineEquivalence pins the incremental WalkEngine to the
+// legacy re-walk path on random tables and random cut-toggle sequences:
+// after every single-link toggle the cached per-pair outcomes and stats
+// must equal a from-scratch walkAllPairs/WalkUnderFaults evaluation,
+// and the engine-backed budget-1 exhaustive adversary must reproduce
+// WorstLinkCutsLegacy exactly. This is the invalidation-correctness
+// property the engine's speed rests on (only pairs whose walk crossed a
+// toggled link are re-walked).
+func FuzzWalkEngineEquivalence(f *testing.F) {
+	f.Add(uint8(6), uint64(0), uint64(0), uint64(0))
+	f.Add(uint8(10), uint64(0x5a5a), uint64(0x11), uint64(0b1010))
+	f.Add(uint8(12), uint64(0xffff), uint64(0xf0f0), uint64(0x3))
+	f.Fuzz(func(t *testing.T, nRaw uint8, extra, cutBits, repairBits uint64) {
+		n := 4 + int(nRaw)%9 // 4..12 nodes
+		g := fuzzCutGraph(n, extra)
+		r, err := routing.ShortestPath(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := routing.Reinforce(r, 1+int(extra)%2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ft := routing.CompileFailover(m)
+		we := NewWalkEngine(ft, g)
+		edges := g.Edges()
+
+		cut := map[int]bool{}
+		check := func(stage string) {
+			var cuts []routing.EdgeFault
+			for i, e := range edges {
+				if cut[i] {
+					cuts = append(cuts, routing.EdgeFault{U: e[0], V: e[1]})
+				}
+			}
+			faults := routing.FaultSetOf(n, nil, cuts)
+			if got, want := we.Stats(), walkAllPairs(ft, faults); got != want {
+				t.Fatalf("%s: engine stats %v, legacy %v (cuts %v)", stage, got, want, cuts)
+			}
+			for i, p := range ft.Pairs() {
+				want := ft.WalkUnderFaults(int(p[0]), int(p[1]), faults).Outcome
+				if got := we.Outcome(i); got != want {
+					t.Fatalf("%s: pair (%d,%d) engine %v, legacy %v (cuts %v)", stage, p[0], p[1], got, want, cuts)
+				}
+			}
+		}
+
+		check("initial")
+		for i := 0; i < len(edges) && i < 64; i++ {
+			if cutBits&(1<<uint(i)) == 0 {
+				continue
+			}
+			we.AddLinkCut(edges[i][0], edges[i][1])
+			cut[i] = true
+			check("add")
+		}
+		for i := 0; i < len(edges) && i < 64; i++ {
+			if repairBits&(1<<uint(i)) == 0 || !cut[i] {
+				continue
+			}
+			we.RemoveLinkCut(edges[i][0], edges[i][1])
+			delete(cut, i)
+			check("remove")
+		}
+		we.Reset()
+		cut = map[int]bool{}
+		check("reset")
+
+		// The engine-backed adversary must reproduce the legacy search.
+		cfg := Config{Mode: Exhaustive}
+		got := WorstLinkCuts(ft, g, 1, cfg)
+		want := WorstLinkCutsLegacy(ft, g, 1, cfg)
+		if got.Evaluated != want.Evaluated || got.Stats != want.Stats ||
+			len(got.Worst) != len(want.Worst) {
+			t.Fatalf("adversary diverged: engine %v, legacy %v", got, want)
+		}
+		for i := range got.Worst {
+			if got.Worst[i] != want.Worst[i] {
+				t.Fatalf("worst witness diverged: engine %v, legacy %v", got.Worst, want.Worst)
+			}
+		}
+	})
+}

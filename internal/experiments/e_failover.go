@@ -67,9 +67,11 @@ func runE19(scale Scale) (*Table, error) {
 			return nil, fmt.Errorf("E19 %s: reinforce: %w", it.name, err)
 		}
 		reinforced := routing.CompileFailover(m)
+		// The parallel engine search is bit-for-bit identical to the
+		// sequential and legacy paths, so the table stays stable.
 		cfg := eval.Config{Mode: eval.Exhaustive}
-		pw := eval.WorstLinkCuts(plain, it.g, budget, cfg)
-		rw := eval.WorstLinkCuts(reinforced, it.g, budget, cfg)
+		pw := eval.WorstLinkCutsParallel(plain, it.g, budget, cfg, 0)
+		rw := eval.WorstLinkCutsParallel(reinforced, it.g, budget, cfg, 0)
 		same := eval.EvaluateCuts(reinforced, pw.Worst)
 		t.AddRow(it.name, it.g.N(), it.g.M(), it.routing, budget, backups,
 			cutCell(pw.Stats), cutCell(rw.Stats), cutCell(same), pw.Evaluated+rw.Evaluated)

@@ -263,6 +263,17 @@ func (ft *FailoverTables) NextRanked(at, src, dst int) []int32 {
 	return ft.next[hopKey{at: int32(at), u: int32(src), v: int32(dst)}]
 }
 
+// EachEntry calls fn once per (at, src, dst) decision with its ranked
+// next hops (primary first), in unspecified order. The ranked slice is
+// shared with the tables; callers must not mutate or retain it. This is
+// the enumeration hook package eval's WalkEngine compiles its flat walk
+// arrays from.
+func (ft *FailoverTables) EachEntry(fn func(at, src, dst int, ranked []int32)) {
+	for k, ranked := range ft.next {
+		fn(int(k.at), int(k.u), int(k.v), ranked)
+	}
+}
+
 // WalkUnderFaults forwards a packet from src to dst hop by hop with
 // local failover: at each node the first live ranked entry is taken,
 // where an entry nx is live iff neither the link to nx nor nx itself is
