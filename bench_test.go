@@ -522,6 +522,37 @@ func BenchmarkWorstLinkCutsEngineParallelCCC4(b *testing.B) {
 	}
 }
 
+// BenchmarkWorstMixedFaultsEngineCCC4 is the mixed-universe packet
+// adversary headline: the exhaustive budget-1 search over all 64 nodes
+// and 96 links (1 + 160 fault sets) through the incremental WalkEngine
+// with node-fault invalidation. CI gates its ns/op ratio against the
+// legacy twin below.
+func BenchmarkWorstMixedFaultsEngineCCC4(b *testing.B) {
+	t := ccc4Failover(b)
+	g := ccc4Circular(b).Graph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := WorstMixedFaults(t, g, 1, eval.Config{Mode: eval.Exhaustive})
+		if res.Evaluated != 161 {
+			b.Fatalf("evaluated %d", res.Evaluated)
+		}
+	}
+}
+
+// BenchmarkWorstMixedFaultsLegacyCCC4 is the same budget-1 mixed search
+// through the legacy path that re-walks all 4032 pairs per fault set.
+func BenchmarkWorstMixedFaultsLegacyCCC4(b *testing.B) {
+	t := ccc4Failover(b)
+	g := ccc4Circular(b).Graph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := WorstMixedFaultsLegacy(t, g, 1, eval.Config{Mode: eval.Exhaustive})
+		if res.Evaluated != 161 {
+			b.Fatalf("evaluated %d", res.Evaluated)
+		}
+	}
+}
+
 // BenchmarkWorstLinkCutsSampledCCC4F2 is the sampled+greedy+concentrator
 // adversary at budget 2 — the scale the failover CLI subcommand runs —
 // now engine-backed.

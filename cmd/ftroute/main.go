@@ -8,7 +8,7 @@
 //	ftroute route -graph <spec> [-construction auto|kernel|circular|tricircular|bipolar|bipolar-bi]
 //	ftroute tolerate -graph <spec> [-construction ...] [-faults k] [-samples n] [-seed s] [-exhaustive] [-mixed]
 //	ftroute simulate -graph <spec> [-construction ...] [-faults k] [-samples n] [-seed s]
-//	ftroute failover -graph <spec> [-construction ...] [-cuts k] [-backups b] [-retries r] [-messages n] [-samples n] [-seed s] [-exhaustive]
+//	ftroute failover -graph <spec> [-construction ...] [-cuts k] [-backups b] [-retries r] [-messages n] [-samples n] [-seed s] [-exhaustive] [-mixed]
 //	ftroute export   -graph <spec> [-construction ...] -table routing.json
 //	ftroute check    -graph <spec> -table routing.json -bound d [-faults k] [-seed s] [-exhaustive]
 //
@@ -73,7 +73,7 @@ func run(args []string) error {
 		faults       = fs.Int("faults", -1, "fault budget (default: tolerance t)")
 		samples      = fs.Int("samples", 200, "random fault sets when not exhaustive")
 		exhaustive   = fs.Bool("exhaustive", false, "enumerate all fault sets (exponential)")
-		mixed        = fs.Bool("mixed", false, "tolerate: spend the fault budget on nodes and links combined (literal edge-fault semantics)")
+		mixed        = fs.Bool("mixed", false, "tolerate/failover: spend the fault budget on nodes and links combined")
 		table        = fs.String("table", "", "routing-table file for export/check")
 		bound        = fs.Int("bound", -1, "diameter bound to check (default: construction's bound)")
 		cuts         = fs.Int("cuts", 2, "failover: adversary's link-cut budget")
@@ -105,7 +105,7 @@ func run(args []string) error {
 	case "simulate":
 		return simulate(g, *construction, *faults, *samples, *seed)
 	case "failover":
-		return failover(g, *construction, *cuts, *backups, *retries, *messages, *samples, *seed, *exhaustive)
+		return failover(g, *construction, *cuts, *backups, *retries, *messages, *samples, *seed, *exhaustive, *mixed)
 	case "export":
 		return export(g, *construction, *table)
 	case "check":
@@ -171,11 +171,13 @@ func simulate(g *ftroute.Graph, construction string, faults, samples int, seed i
 
 // failover compiles the requested routing to static-failover tables,
 // both plain (rank-1) and reinforced with link-disjoint backups, runs
-// the link-cut adversary against both, and then replays the plain
-// tables' worst cut as a mid-run fault-injection in the simulator:
-// the cut lands a third of the way through the workload and is repaired
-// at two thirds, with each stuck message retrying from its stuck node.
-func failover(g *ftroute.Graph, construction string, cuts, backups, retries, messages, samples int, seed int64, exhaustive bool) error {
+// the packet-level adversary against both — over link cuts only, or
+// with -mixed over the paper's literal fault model of failed nodes and
+// links combined — and then replays the plain tables' worst fault set
+// as a mid-run fault-injection in the simulator: the faults land a
+// third of the way through the workload and are repaired at two
+// thirds, with each stuck message retrying from its stuck node.
+func failover(g *ftroute.Graph, construction string, cuts, backups, retries, messages, samples int, seed int64, exhaustive, mixed bool) error {
 	r, _, err := build(g, construction)
 	if err != nil {
 		return err
@@ -198,24 +200,48 @@ func failover(g *ftroute.Graph, construction string, cuts, backups, retries, mes
 		cfg = ftroute.EvalConfig{Mode: ftroute.Exhaustive}
 		mode = "exhaustive"
 	}
-	pw := ftroute.WorstLinkCutsParallel(plain, g, cuts, cfg, 0)
-	rw := ftroute.WorstLinkCutsParallel(reinforced, g, cuts, cfg, 0)
-	fmt.Printf("adversary (%s, budget %d):\n", mode, cuts)
-	fmt.Printf("  plain:      %s\n", pw)
-	fmt.Printf("  reinforced: %s\n", rw)
-	fmt.Printf("  reinforced under plain's worst cut: %s\n", ftroute.EvaluateLinkCuts(reinforced, pw.Worst))
+	var worstNodes []int
+	var worstCuts []ftroute.EdgeFault
+	if mixed {
+		pw := ftroute.WorstMixedFaultsParallel(plain, g, cuts, cfg, 0)
+		rw := ftroute.WorstMixedFaultsParallel(reinforced, g, cuts, cfg, 0)
+		fmt.Printf("adversary (%s, mixed node+link budget %d):\n", mode, cuts)
+		fmt.Printf("  plain:      %s\n", pw)
+		fmt.Printf("  reinforced: %s\n", rw)
+		fmt.Printf("  reinforced under plain's worst mixed set: %s\n",
+			ftroute.EvaluateMixedFaults(reinforced, pw.WorstNodes, pw.WorstCuts))
+		worstNodes, worstCuts = pw.WorstNodes, pw.WorstCuts
+	} else {
+		pw := ftroute.WorstLinkCutsParallel(plain, g, cuts, cfg, 0)
+		rw := ftroute.WorstLinkCutsParallel(reinforced, g, cuts, cfg, 0)
+		fmt.Printf("adversary (%s, budget %d):\n", mode, cuts)
+		fmt.Printf("  plain:      %s\n", pw)
+		fmt.Printf("  reinforced: %s\n", rw)
+		fmt.Printf("  reinforced under plain's worst cut: %s\n", ftroute.EvaluateLinkCuts(reinforced, pw.Worst))
+		worstCuts = pw.Worst
+	}
 	if messages <= 0 {
 		messages = 300
 	}
 	var schedule []netsim.FaultEvent
-	for _, e := range pw.Worst {
+	for _, v := range worstNodes {
+		schedule = append(schedule,
+			netsim.FaultEvent{AfterMessage: messages / 3, Node: v},
+			netsim.FaultEvent{AfterMessage: 2 * messages / 3, Node: v, Repair: true})
+	}
+	for _, e := range worstCuts {
 		schedule = append(schedule,
 			netsim.FaultEvent{AfterMessage: messages / 3, Link: true, U: e.U, V: e.V},
 			netsim.FaultEvent{AfterMessage: 2 * messages / 3, Link: true, U: e.U, V: e.V, Repair: true})
 	}
 	wl := netsim.Workload{Messages: messages, Seed: seed}
-	fmt.Printf("simulation (%d messages, cut %v injected at %d, repaired at %d, retries %d):\n",
-		messages, pw.Worst, messages/3, 2*messages/3, retries)
+	if mixed {
+		fmt.Printf("simulation (%d messages, faults F=%v E=%v injected at %d, repaired at %d, retries %d):\n",
+			messages, worstNodes, worstCuts, messages/3, 2*messages/3, retries)
+	} else {
+		fmt.Printf("simulation (%d messages, cut %v injected at %d, repaired at %d, retries %d):\n",
+			messages, worstCuts, messages/3, 2*messages/3, retries)
+	}
 	for _, tc := range []struct {
 		name   string
 		tables *ftroute.FailoverTables

@@ -190,6 +190,90 @@ func sweepEngineCuts(t *testing.T, g *Graph, ft *FailoverTables, budget int) int
 	return loops
 }
 
+// engineAgreesOnMixed compares the engine's cached per-pair outcomes
+// under the current mixed fault set against the legacy classification:
+// Skipped when an endpoint is failed, otherwise a fresh WalkUnderFaults
+// walk. tax accumulates the blackhole/loop/skipped counts observed so
+// sweeps can assert every taxonomy leg was actually exercised.
+func engineAgreesOnMixed(t *testing.T, we *WalkEngine, ft *FailoverTables, nodes []int, cuts []EdgeFault, tax *[3]int) {
+	t.Helper()
+	faults := FaultSetOf(ft.N(), nodes, cuts)
+	disrupted := 0
+	stats := we.Stats()
+	if got := stats.Delivered + stats.Blackhole + stats.Loop + stats.Skipped; got != stats.Pairs {
+		t.Fatalf("F=%v E=%v: stats don't partition the pairs: %v", nodes, cuts, stats)
+	}
+	for i, p := range ft.Pairs() {
+		want := SkippedPair
+		if !faults.NodeFaulty(int(p[0])) && !faults.NodeFaulty(int(p[1])) {
+			want = ft.WalkUnderFaults(int(p[0]), int(p[1]), faults).Outcome
+		}
+		if got := we.Outcome(i); got != want {
+			t.Fatalf("F=%v E=%v: pair (%d,%d) engine outcome %v, legacy %v", nodes, cuts, p[0], p[1], got, want)
+		}
+		switch want {
+		case Blackhole:
+			disrupted++
+			tax[0]++
+		case ForwardingLoop:
+			disrupted++
+			tax[1]++
+		case SkippedPair:
+			tax[2]++
+		}
+	}
+	if got := len(we.DisruptedPairs()); got != disrupted {
+		t.Fatalf("F=%v E=%v: engine reports %d disrupted pairs, legacy %d", nodes, cuts, got, disrupted)
+	}
+	if got, want := stats.Disrupted(), disrupted; got != want {
+		t.Fatalf("F=%v E=%v: engine stats disrupted %d, legacy %d", nodes, cuts, got, want)
+	}
+}
+
+// sweepEngineMixed enumerates every mixed fault set of size 0..budget
+// over the n+m item universe in the exhaustive lexicographic preorder,
+// toggling the engine one item per step, and checks per-pair
+// equivalence at every set. Returns the blackhole/loop/skipped counts
+// observed across the sweep.
+func sweepEngineMixed(t *testing.T, g *Graph, ft *FailoverTables, budget int) [3]int {
+	t.Helper()
+	we := NewWalkEngine(ft, g)
+	edges := g.Edges()
+	items := g.N() + len(edges)
+	var tax [3]int
+	var nodes []int
+	var cuts []EdgeFault
+	engineAgreesOnMixed(t, we, ft, nodes, cuts, &tax)
+	var rec func(start, left int)
+	rec = func(start, left int) {
+		if left == 0 {
+			return
+		}
+		for v := start; v < items; v++ {
+			if v < g.N() {
+				we.AddNodeFault(v)
+				nodes = append(nodes, v)
+			} else {
+				e := edges[v-g.N()]
+				we.AddLinkCut(e[0], e[1])
+				cuts = append(cuts, EdgeFault{U: e[0], V: e[1]})
+			}
+			engineAgreesOnMixed(t, we, ft, nodes, cuts, &tax)
+			rec(v+1, left-1)
+			if v < g.N() {
+				we.RemoveNodeFault(v)
+				nodes = nodes[:len(nodes)-1]
+			} else {
+				e := edges[v-g.N()]
+				we.RemoveLinkCut(e[0], e[1])
+				cuts = cuts[:len(cuts)-1]
+			}
+		}
+	}
+	rec(0, budget)
+	return tax
+}
+
 // reinforcedTables builds the reinforced shortest-path tables the
 // engine benchmarks anchor on (2 link-disjoint backups per pair).
 func reinforcedTables(t *testing.T, g *Graph) *FailoverTables {
@@ -240,6 +324,76 @@ func TestWalkEngineGoldenLoopTaxonomy(t *testing.T) {
 	ft := CompileFailover(m)
 	if loops := sweepEngineCuts(t, g, ft, 3); loops == 0 {
 		t.Fatal("the doubled-back tables should loop under some cut set; the loop classification leg went untested")
+	}
+	// The same tables under the mixed sweep: node faults interleaved
+	// with the doubling-back cuts must still classify loops correctly.
+	tax := sweepEngineMixed(t, g, ft, 3)
+	if tax[1] == 0 {
+		t.Fatal("the mixed sweep should observe loops on the doubled-back tables")
+	}
+	if tax[2] == 0 {
+		t.Fatal("the mixed sweep should observe skipped pairs once an endpoint fails")
+	}
+}
+
+// TestWalkEngineGoldenMixedCCC3 sweeps every exhaustive mixed fault set
+// of size <= 2 over CCC(3) reinforced tables' 60-item universe (24
+// nodes + 36 links): 1 + 60 + C(60,2) = 1831 sets, each checked pair by
+// pair against the legacy Skipped/WalkUnderFaults classification.
+func TestWalkEngineGoldenMixedCCC3(t *testing.T) {
+	g, err := CCC(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tax := sweepEngineMixed(t, g, reinforcedTables(t, g), 2)
+	if tax[0] == 0 {
+		t.Fatal("the mixed sweep should observe blackholed pairs")
+	}
+	if tax[2] == 0 {
+		t.Fatal("the mixed sweep should observe skipped pairs")
+	}
+}
+
+// TestWalkEngineGoldenMixedCCC4 sweeps the full budget-1 mixed
+// enumeration on the CCC(4) benchmark anchor (1 + 64 + 96 = 161 sets x
+// 4032 pairs), then seeded random 2-item mixed sets via SetMixedFaults.
+// The budget-2 mixed enumeration is the CCC(3) test's job — re-walking
+// 4032 pairs per set from scratch makes it too slow for the
+// race-detector CI leg.
+func TestWalkEngineGoldenMixedCCC4(t *testing.T) {
+	g, err := CCC(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := reinforcedTables(t, g)
+	tax := sweepEngineMixed(t, g, ft, 1)
+	if tax[2] == 0 {
+		t.Fatal("the budget-1 mixed sweep should observe skipped pairs")
+	}
+
+	we := NewWalkEngine(ft, g)
+	edges := g.Edges()
+	items := g.N() + len(edges)
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 25; trial++ {
+		var nodes []int
+		var cuts []EdgeFault
+		seen := map[int]bool{}
+		for len(nodes)+len(cuts) < 2 {
+			v := rng.Intn(items)
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			if v < g.N() {
+				nodes = append(nodes, v)
+			} else {
+				e := edges[v-g.N()]
+				cuts = append(cuts, EdgeFault{U: e[0], V: e[1]})
+			}
+		}
+		we.SetMixedFaults(nodes, cuts)
+		engineAgreesOnMixed(t, we, ft, nodes, cuts, &tax)
 	}
 }
 

@@ -254,10 +254,14 @@ type (
 	LinkCutResult = eval.CutResult
 	// WalkEngine is the incremental failover-walk engine: it compiles
 	// FailoverTables once, caches every pair's walk, and re-walks only
-	// the pairs whose cached walk crossed a toggled link on
-	// AddLinkCut/RemoveLinkCut. All link-cut adversary entry points use
-	// it automatically; it is exported for custom search loops.
+	// the pairs whose cached walk touched a toggled item on
+	// AddLinkCut/RemoveLinkCut and AddNodeFault/RemoveNodeFault. All
+	// packet-level adversary entry points use it automatically; it is
+	// exported for custom search loops.
 	WalkEngine = eval.WalkEngine
+	// MixedCutResult reports the worst mixed (node+link) fault set
+	// found by the packet-level mixed adversary.
+	MixedCutResult = eval.MixedCutResult
 )
 
 // Static-failover walk outcomes.
@@ -268,6 +272,10 @@ const (
 	Blackhole = routing.Blackhole
 	// ForwardingLoop: the walk revisited a node, hence cycles forever.
 	ForwardingLoop = routing.Loop
+	// SkippedPair: the pair was not walked — its source or destination
+	// node is failed, so there is no packet to forward. Only the mixed
+	// adversary reports it; it never counts as disrupted.
+	SkippedPair = routing.Skipped
 )
 
 var (
@@ -299,6 +307,20 @@ var (
 	NewWalkEngine = eval.NewWalkEngine
 	// EvaluateLinkCuts walks every table pair under one cut set.
 	EvaluateLinkCuts = eval.EvaluateCuts
+	// WorstMixedFaults searches mixed fault sets — failed nodes and cut
+	// links, the paper's literal fault model — for the set disrupting
+	// the most pairs, incrementally through the WalkEngine.
+	WorstMixedFaults = eval.WorstMixedFaults
+	// WorstMixedFaultsParallel fans the mixed search over worker
+	// goroutines on per-worker WalkEngine clones; results are
+	// bit-for-bit identical to the sequential search.
+	WorstMixedFaultsParallel = eval.WorstMixedFaultsParallel
+	// WorstMixedFaultsLegacy is the re-walk-everything reference
+	// implementation, kept as the equivalence oracle.
+	WorstMixedFaultsLegacy = eval.WorstMixedFaultsLegacy
+	// EvaluateMixedFaults walks every table pair under one mixed fault
+	// set (pairs with a failed endpoint count as skipped).
+	EvaluateMixedFaults = eval.EvaluateMixedFaults
 )
 
 // Beyond-tolerance analysis (the paper's Open Problem 3).

@@ -30,19 +30,28 @@ import (
 // paper's concentrator, where cutting a few adjacent wires severs many
 // routes at once.
 
-// CutStats counts walk outcomes over all table pairs under one cut set.
+// CutStats counts walk outcomes over all table pairs under one fault
+// set. Skipped stays zero under pure link cuts; it only appears under
+// mixed faults, when a pair's own endpoint is failed.
 type CutStats struct {
-	Pairs     int // ordered pairs walked (pairs holding table entries)
+	Pairs     int // ordered pairs with table entries
 	Delivered int
 	Blackhole int // walk stuck at a node with no live entry
 	Loop      int // walk revisited a node (cycles forever)
+	Skipped   int // pair not walked: its src or dst node is failed
 }
 
-// Disrupted returns the pairs that failed to deliver.
+// Disrupted returns the pairs whose packets the tables mishandled.
+// Skipped pairs are excluded: a pair whose endpoint is dead has no
+// packet to misroute, so killing endpoints earns the adversary nothing.
 func (s CutStats) Disrupted() int { return s.Blackhole + s.Loop }
 
 // String renders the stats compactly.
 func (s CutStats) String() string {
+	if s.Skipped > 0 {
+		return fmt.Sprintf("%d/%d delivered (%d blackhole, %d loop, %d skipped)",
+			s.Delivered, s.Pairs, s.Blackhole, s.Loop, s.Skipped)
+	}
 	return fmt.Sprintf("%d/%d delivered (%d blackhole, %d loop)", s.Delivered, s.Pairs, s.Blackhole, s.Loop)
 }
 
@@ -70,6 +79,31 @@ func walkAllPairs(t *routing.FailoverTables, faults *routing.FaultSet) CutStats 
 	var s CutStats
 	for _, p := range t.Pairs() {
 		s.Pairs++
+		switch t.WalkUnderFaults(int(p[0]), int(p[1]), faults).Outcome {
+		case routing.Delivered:
+			s.Delivered++
+		case routing.Blackhole:
+			s.Blackhole++
+		default:
+			s.Loop++
+		}
+	}
+	return s
+}
+
+// walkAllPairsMixed walks every pair with table entries under a mixed
+// fault set. Pairs whose source or destination node is failed are not
+// walked and count as Skipped; the rest go through WalkUnderFaults
+// exactly as walkAllPairs does. This is the single-set oracle behind
+// WorstMixedFaultsLegacy, mirrored bit for bit by the WalkEngine.
+func walkAllPairsMixed(t *routing.FailoverTables, faults *routing.FaultSet) CutStats {
+	var s CutStats
+	for _, p := range t.Pairs() {
+		s.Pairs++
+		if faults.NodeFaulty(int(p[0])) || faults.NodeFaulty(int(p[1])) {
+			s.Skipped++
+			continue
+		}
 		switch t.WalkUnderFaults(int(p[0]), int(p[1]), faults).Outcome {
 		case routing.Delivered:
 			s.Delivered++

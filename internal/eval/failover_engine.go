@@ -109,33 +109,48 @@ func mergeOrderedCuts(merged *CutResult, r CutResult) {
 
 // exhaustiveSearchParallel enumerates all cut sets of size 1..budget.
 // Work unit i is the subtree of sets whose first (smallest-id) link is
-// i; workers steal units from a shared counter, each on its own engine
-// clone, and per-unit results merge in enumeration order.
+// i; workers steal contiguous batches of units from a shared counter,
+// each on one lazily created engine clone reused across its batches, and
+// per-unit results merge in enumeration order — so the result stays
+// bit-for-bit identical to the sequential search.
 func (we *WalkEngine) exhaustiveSearchParallel(budget, workers int, res *CutResult) {
 	m := we.m
 	if workers > m {
 		workers = m
 	}
 	per := make([]CutResult, m)
+	batch := m / (workers * 4)
+	if batch < 1 {
+		batch = 1
+	}
 	var nextUnit atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			c := we.Clone()
+			var c *WalkEngine
 			for {
-				i := int(nextUnit.Add(1)) - 1
-				if i >= m {
+				lo := int(nextUnit.Add(int64(batch))) - batch
+				if lo >= m {
 					return
 				}
-				var sub CutResult
-				cur := []routing.EdgeFault{c.edgeFaultOf(i)}
-				c.addCut(i)
-				sub.consider(cur, c.Stats())
-				c.descendCuts(i+1, budget-1, &cur, &sub)
-				c.removeCut(i)
-				per[i] = sub
+				hi := lo + batch
+				if hi > m {
+					hi = m
+				}
+				if c == nil {
+					c = we.Clone()
+				}
+				for i := lo; i < hi; i++ {
+					var sub CutResult
+					cur := []routing.EdgeFault{c.edgeFaultOf(i)}
+					c.addCut(i)
+					sub.consider(cur, c.Stats())
+					c.descendCuts(i+1, budget-1, &cur, &sub)
+					c.removeCut(i)
+					per[i] = sub
+				}
 			}
 		}()
 	}
@@ -150,13 +165,23 @@ func (we *WalkEngine) exhaustiveSearchParallel(budget, workers int, res *CutResu
 // order), then the concentrator probe, then (with cfg.Greedy) the
 // greedy adversary. With workers > 1 the samples are evaluated on
 // per-worker clones and the greedy rounds parallelize their candidate
-// probes; merging stays in draw/enumeration order.
+// probes; merging stays in draw/enumeration order. One lazily built
+// clone pool is shared between the sampling and greedy phases, so each
+// worker clones the engine at most once for the whole search.
 func (we *WalkEngine) sampledSearch(budget int, cfg Config, workers int, res *CutResult) {
+	// worstLinkCuts already clamps, but the bound is re-checked here
+	// because this function's termination depends on it: with budget
+	// greater than the number of distinct links, the draw loop below
+	// could never bring ids.Count() up to budget and would spin forever.
+	if budget > we.m {
+		budget = we.m
+	}
 	samples := cfg.Samples
 	if samples <= 0 {
 		samples = 200
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	clones := make([]*WalkEngine, workers)
 	if budget > 0 {
 		sets := make([]*graph.Bitset, samples)
 		for i := range sets {
@@ -176,20 +201,29 @@ func (we *WalkEngine) sampledSearch(budget int, cfg Config, workers int, res *Cu
 			}
 			for w := 0; w < sampleWorkers; w++ {
 				wg.Add(1)
-				go func() {
+				go func(w int) {
 					defer wg.Done()
-					c := we.Clone()
+					var c *WalkEngine // cloned on this worker's first sample
 					for {
 						i := int(nextSample.Add(1)) - 1
 						if i >= samples {
-							return
+							break
+						}
+						if c == nil {
+							if clones[w] == nil {
+								clones[w] = we.Clone()
+							}
+							c = clones[w]
 						}
 						c.setCutIDs(sets[i])
 						var sub CutResult
 						sub.consider(c.CutList(), c.Stats())
 						per[i] = sub
 					}
-				}()
+					if c != nil {
+						c.Reset() // hand the pool to the greedy phase fault-free
+					}
+				}(w)
 			}
 			wg.Wait()
 			for _, r := range per {
@@ -205,7 +239,7 @@ func (we *WalkEngine) sampledSearch(budget int, cfg Config, workers int, res *Cu
 	}
 	we.concentratorSearch(budget, res)
 	if cfg.Greedy {
-		we.greedySearch(budget, workers, res)
+		we.greedySearch(budget, workers, clones, res)
 	}
 }
 
@@ -254,13 +288,15 @@ func (we *WalkEngine) concentratorSearch(budget int, res *CutResult) {
 // candidate probes optionally spread over workers. Verdicts are reduced
 // in edge order with the sequential tie-breaking, and per-worker clones
 // are kept in sync by replaying the chosen cuts, exactly as
-// greedyMixedParallel does. The engine ends restored to cut-free.
-func (we *WalkEngine) greedySearch(budget, workers int, res *CutResult) {
+// greedyMixedParallel does. clones is the caller's lazily built pool
+// (len >= workers); entries handed in must be fault-free, and any still
+// nil are cloned on a worker's first candidate. The engine ends
+// restored to cut-free.
+func (we *WalkEngine) greedySearch(budget, workers int, clones []*WalkEngine, res *CutResult) {
 	chosen := graph.NewBitset(we.m)
 	var cur []routing.EdgeFault
 	verdicts := make([]CutStats, we.m)
 	measured := make([]bool, we.m)
-	clones := make([]*WalkEngine, workers)
 	for round := 0; round < budget; round++ {
 		for i := range measured {
 			measured[i] = false

@@ -8,12 +8,13 @@ import (
 )
 
 // WalkEngine is the incremental evaluation engine for static-failover
-// walks under link cuts — the packet-level analogue of Engine. It
+// walks under mixed faults — the packet-level analogue of Engine. It
 // compiles FailoverTables once into flat arrays and caches, per ordered
 // pair, the current walk: its outcome, the links it traverses (the hop
-// sequence in edge-id form), and the links it consulted but skipped
-// because they were cut. Two inverted link→pairs bitset indexes keep
-// both caches queryable per link, which makes invalidation exact:
+// sequence in edge-id form), the nodes it enters, and the links and
+// nodes it consulted entries toward but skipped because they were
+// faulty. Inverted item→pairs bitset indexes keep every cache queryable
+// per link and per node, which makes invalidation exact:
 //
 //   - AddLinkCut(e) changes the walk of exactly the pairs whose cached
 //     walk traverses e. Every entry ranked before the one a walk took
@@ -24,15 +25,19 @@ import (
 //     a link no walk was deflected by cannot improve any decision it
 //     made. Blocked sets include every cut entry at a blackhole node,
 //     so blackholed pairs recover as soon as one of their entries does.
+//   - AddNodeFault(v) changes the walk of exactly the pairs whose
+//     cached walk enters v (the decision at v's predecessor flips, and
+//     any decisions made at v disappear) plus the pairs with v as an
+//     endpoint (they become Skipped — no packet to forward).
+//   - RemoveNodeFault(v) changes the walk of exactly the pairs whose
+//     cached walk consulted an entry toward v and skipped it because v
+//     was failed, plus the endpoint pairs of v.
 //
 // Each toggle therefore re-walks only the affected pairs, maintaining
 // CutStats incrementally, while the legacy path re-walks all P pairs
-// per probed cut set. Clone() shares the compiled arrays and copies
+// per probed fault set. Clone() shares the compiled arrays and copies
 // only the mutable walk cache, which is what the parallel adversary's
 // per-worker clones use.
-//
-// The engine models pure link cuts (the adversary of WorstLinkCuts);
-// node faults stay with routing.WalkUnderFaults and the legacy path.
 type WalkEngine struct {
 	g         *graph.Graph // cuttable links + neighbor order (read-only)
 	n         int          // nodes
@@ -49,15 +54,21 @@ type WalkEngine struct {
 	edgeU, edgeV []int32         // edge id -> endpoints (u < v), g.Edges() order
 	edgeID       map[int64]int32 // normalized endpoint key -> edge id
 	entriesAt    []int32         // node -> decisions held (concentrator probe)
+	endpointRows []uint64        // node -> bitset over pairs with the node as src or dst
 
 	// Mutable walk cache, deep-copied by Clone.
-	cut       *graph.Bitset // currently cut edge ids
-	outcome   []routing.Outcome
-	trav      [][]int32 // pair -> edge ids its walk traverses, hop order
-	blocked   [][]int32 // pair -> cut edge ids its walk consulted and skipped
-	travRows  []uint64  // edge -> bitset over pairs with the edge in trav
-	blockRows []uint64  // edge -> bitset over pairs with the edge in blocked
-	stats     CutStats
+	cut           *graph.Bitset // currently cut edge ids
+	nodeFault     *graph.Bitset // currently failed nodes
+	outcome       []routing.Outcome
+	trav          [][]int32 // pair -> edge ids its walk traverses, hop order
+	blocked       [][]int32 // pair -> cut edge ids its walk consulted and skipped
+	visited       [][]int32 // pair -> nodes its walk enters (src excluded, dst included)
+	blockedN      [][]int32 // pair -> failed nodes its walk consulted entries toward and skipped
+	travRows      []uint64  // edge -> bitset over pairs with the edge in trav
+	blockRows     []uint64  // edge -> bitset over pairs with the edge in blocked
+	visitRows     []uint64  // node -> bitset over pairs with the node in visited
+	blockNodeRows []uint64  // node -> bitset over pairs with the node in blockedN
+	stats         CutStats
 
 	// Walk scratch, per clone.
 	stamp   []int64 // node -> epoch of last visit (loop detection)
@@ -148,12 +159,23 @@ func NewWalkEngine(t *routing.FailoverTables, g *graph.Graph) *WalkEngine {
 			we.hopEdge = append(we.hopEdge, eid)
 		}
 	}
+	we.endpointRows = make([]uint64, we.n*we.pairWords)
+	for p := 0; p < P; p++ {
+		w, bit := p>>6, uint64(1)<<(uint(p)&63)
+		we.endpointRows[int(we.pairU[p])*we.pairWords+w] |= bit
+		we.endpointRows[int(we.pairV[p])*we.pairWords+w] |= bit
+	}
 	we.cut = graph.NewBitset(we.m)
+	we.nodeFault = graph.NewBitset(we.n)
 	we.outcome = make([]routing.Outcome, P)
 	we.trav = make([][]int32, P)
 	we.blocked = make([][]int32, P)
+	we.visited = make([][]int32, P)
+	we.blockedN = make([][]int32, P)
 	we.travRows = make([]uint64, we.m*we.pairWords)
 	we.blockRows = make([]uint64, we.m*we.pairWords)
+	we.visitRows = make([]uint64, we.n*we.pairWords)
+	we.blockNodeRows = make([]uint64, we.n*we.pairWords)
 	we.stamp = make([]int64, we.n)
 	we.scratch = make([]uint64, we.pairWords)
 	we.stats.Pairs = P
@@ -180,20 +202,25 @@ func edgeKeyNorm(u, v int) int64 {
 func (we *WalkEngine) Clone() *WalkEngine {
 	c := *we
 	c.cut = we.cut.Clone()
+	c.nodeFault = we.nodeFault.Clone()
 	c.outcome = append([]routing.Outcome(nil), we.outcome...)
 	c.trav = cloneLinkLists(we.trav)
 	c.blocked = cloneLinkLists(we.blocked)
+	c.visited = cloneLinkLists(we.visited)
+	c.blockedN = cloneLinkLists(we.blockedN)
 	c.travRows = append([]uint64(nil), we.travRows...)
 	c.blockRows = append([]uint64(nil), we.blockRows...)
+	c.visitRows = append([]uint64(nil), we.visitRows...)
+	c.blockNodeRows = append([]uint64(nil), we.blockNodeRows...)
 	c.stamp = make([]int64, we.n)
 	c.epoch = 0
 	c.scratch = make([]uint64, we.pairWords)
 	return &c
 }
 
-// cloneLinkLists deep-copies per-pair link lists into one backing
-// array. Capacities are pinned to lengths so a later append relocates
-// the pair's slice instead of overwriting a neighbor's.
+// cloneLinkLists deep-copies per-pair item lists (link or node) into
+// one backing array. Capacities are pinned to lengths so a later append
+// relocates the pair's slice instead of overwriting a neighbor's.
 func cloneLinkLists(lists [][]int32) [][]int32 {
 	total := 0
 	for _, l := range lists {
@@ -231,12 +258,13 @@ func (we *WalkEngine) Outcome(i int) routing.Outcome { return we.outcome[i] }
 // cut set — the value the legacy path recomputes with walkAllPairs.
 func (we *WalkEngine) Stats() CutStats { return we.stats }
 
-// DisruptedPairs returns the pairs not currently delivered, in pair
-// order.
+// DisruptedPairs returns the pairs currently blackholed or looping, in
+// pair order. Skipped pairs (a failed endpoint) are not disrupted: no
+// packet exists to be misrouted.
 func (we *WalkEngine) DisruptedPairs() [][2]int32 {
 	var out [][2]int32
 	for i, o := range we.outcome {
-		if o != routing.Delivered {
+		if o == routing.Blackhole || o == routing.Loop {
 			out = append(out, [2]int32{we.pairU[i], we.pairV[i]})
 		}
 	}
@@ -296,10 +324,67 @@ func (we *WalkEngine) removeCut(id int) {
 	we.rewalkRow(we.blockRows[id*we.pairWords : (id+1)*we.pairWords])
 }
 
-// rewalkRow re-walks every pair set in the given link row. The row is
+// HasNodeFault reports whether node v is currently failed.
+func (we *WalkEngine) HasNodeFault(v int) bool {
+	return v >= 0 && v < we.n && we.nodeFault.Has(v)
+}
+
+// NodeFaultList returns the currently failed nodes, sorted. The empty
+// set is a non-nil empty slice, the canonical witness form shared with
+// the legacy oracle.
+func (we *WalkEngine) NodeFaultList() []int {
+	return append(make([]int, 0, we.nodeFault.Count()), we.nodeFault.Elements()...)
+}
+
+// AddNodeFault fails node v and re-walks exactly the pairs whose cached
+// walk enters v plus the pairs with v as an endpoint (which become
+// Skipped). Out-of-range and already-failed nodes are no-ops.
+func (we *WalkEngine) AddNodeFault(v int) {
+	if v >= 0 && v < we.n {
+		we.addNodeFault(v)
+	}
+}
+
+// RemoveNodeFault repairs node v and re-walks exactly the pairs whose
+// cached walk was deflected by v's fault plus v's endpoint pairs.
+func (we *WalkEngine) RemoveNodeFault(v int) {
+	if v >= 0 && v < we.n {
+		we.removeNodeFault(v)
+	}
+}
+
+// addNodeFault is AddNodeFault with v known in range.
+func (we *WalkEngine) addNodeFault(v int) {
+	if we.nodeFault.Has(v) {
+		return
+	}
+	we.nodeFault.Add(v)
+	we.rewalkRows(we.visitRows[v*we.pairWords:(v+1)*we.pairWords],
+		we.endpointRows[v*we.pairWords:(v+1)*we.pairWords])
+}
+
+// removeNodeFault is RemoveNodeFault with v known in range.
+func (we *WalkEngine) removeNodeFault(v int) {
+	if !we.nodeFault.Has(v) {
+		return
+	}
+	we.nodeFault.Remove(v)
+	we.rewalkRows(we.blockNodeRows[v*we.pairWords:(v+1)*we.pairWords],
+		we.endpointRows[v*we.pairWords:(v+1)*we.pairWords])
+}
+
+// rewalkRow re-walks every pair set in the given item row. The row is
 // snapshotted first because each re-walk mutates the live rows.
-func (we *WalkEngine) rewalkRow(row []uint64) {
+func (we *WalkEngine) rewalkRow(row []uint64) { we.rewalkRows(row, nil) }
+
+// rewalkRows re-walks every pair set in the union of the two item rows
+// (the second may be nil), snapshotting first because each re-walk
+// mutates the live rows.
+func (we *WalkEngine) rewalkRows(row, extra []uint64) {
 	copy(we.scratch, row)
+	for i, word := range extra {
+		we.scratch[i] |= word
+	}
 	for wi, word := range we.scratch {
 		base := wi << 6
 		for word != 0 {
@@ -334,10 +419,68 @@ func (we *WalkEngine) setCutIDs(want *graph.Bitset) {
 	}
 }
 
-// Reset repairs every cut link.
+// SetMixedFaults replaces the current mixed fault set with exactly the
+// given failed nodes and cut links via symmetric-difference toggles, so
+// consecutive similar sets stay cheap. Out-of-range nodes and unknown
+// links are ignored.
+func (we *WalkEngine) SetMixedFaults(nodes []int, cuts []routing.EdgeFault) {
+	wantN := graph.NewBitset(we.n)
+	for _, v := range nodes {
+		if v >= 0 && v < we.n {
+			wantN.Add(v)
+		}
+	}
+	for _, v := range we.nodeFault.Elements() {
+		if !wantN.Has(v) {
+			we.removeNodeFault(v)
+		}
+	}
+	for _, v := range wantN.Elements() {
+		we.addNodeFault(v)
+	}
+	we.SetCuts(cuts)
+}
+
+// setMixedItemIDs is SetMixedFaults over a bitset of the n+m item
+// universe: item v < n is node v, item v >= n is edge v-n.
+func (we *WalkEngine) setMixedItemIDs(want *graph.Bitset) {
+	for _, v := range we.nodeFault.Elements() {
+		if !want.Has(v) {
+			we.removeNodeFault(v)
+		}
+	}
+	for _, id := range we.cut.Elements() {
+		if !want.Has(we.n + id) {
+			we.removeCut(id)
+		}
+	}
+	for _, v := range want.Elements() {
+		we.toggleMixedItem(v, true)
+	}
+}
+
+// toggleMixedItem adds or removes universe item v (node for v < n, edge
+// v-n otherwise) — the packet-level analogue of Engine.toggleItem.
+func (we *WalkEngine) toggleMixedItem(v int, add bool) {
+	switch {
+	case v < we.n && add:
+		we.addNodeFault(v)
+	case v < we.n:
+		we.removeNodeFault(v)
+	case add:
+		we.addCut(v - we.n)
+	default:
+		we.removeCut(v - we.n)
+	}
+}
+
+// Reset repairs every cut link and every failed node.
 func (we *WalkEngine) Reset() {
 	for _, id := range we.cut.Elements() {
 		we.removeCut(id)
+	}
+	for _, v := range we.nodeFault.Elements() {
+		we.removeNodeFault(v)
 	}
 }
 
@@ -362,14 +505,17 @@ func (we *WalkEngine) bumpStats(o routing.Outcome, d int) {
 		we.stats.Delivered += d
 	case routing.Blackhole:
 		we.stats.Blackhole += d
+	case routing.Skipped:
+		we.stats.Skipped += d
 	default:
 		we.stats.Loop += d
 	}
 }
 
-// indexPair sets (on=true) or clears pair p's bits in the link rows of
-// its cached traversed and blocked lists. Duplicate edge ids in a loop
-// walk's traversed list are harmless: set and clear are idempotent.
+// indexPair sets (on=true) or clears pair p's bits in the item rows of
+// its cached traversed, visited and blocked lists. Duplicate items (a
+// loop walk's revisited node, an entry dead for two reasons) are
+// harmless: set and clear are idempotent.
 func (we *WalkEngine) indexPair(p int32, on bool) {
 	w, bit := int(p)>>6, uint64(1)<<(uint(p)&63)
 	if on {
@@ -379,6 +525,12 @@ func (we *WalkEngine) indexPair(p int32, on bool) {
 		for _, eid := range we.blocked[p] {
 			we.blockRows[int(eid)*we.pairWords+w] |= bit
 		}
+		for _, v := range we.visited[p] {
+			we.visitRows[int(v)*we.pairWords+w] |= bit
+		}
+		for _, v := range we.blockedN[p] {
+			we.blockNodeRows[int(v)*we.pairWords+w] |= bit
+		}
 		return
 	}
 	for _, eid := range we.trav[p] {
@@ -386,6 +538,12 @@ func (we *WalkEngine) indexPair(p int32, on bool) {
 	}
 	for _, eid := range we.blocked[p] {
 		we.blockRows[int(eid)*we.pairWords+w] &^= bit
+	}
+	for _, v := range we.visited[p] {
+		we.visitRows[int(v)*we.pairWords+w] &^= bit
+	}
+	for _, v := range we.blockedN[p] {
+		we.blockNodeRows[int(v)*we.pairWords+w] &^= bit
 	}
 }
 
@@ -407,16 +565,25 @@ func (we *WalkEngine) entryOf(p, at int32) int32 {
 	return -1
 }
 
-// walk replays pair p's forwarding walk under the current cut set,
-// rebuilding its traversed and blocked link lists, and returns the
-// outcome. Semantics mirror FailoverTables.WalkUnderFaults restricted
-// to link faults: first live ranked entry at each node, Delivered on
-// reaching dst, Blackhole when no live entry exists, Loop on a node
-// revisit (epoch-stamped, allocation-free).
+// walk replays pair p's forwarding walk under the current mixed fault
+// set, rebuilding its traversed, visited and blocked item lists, and
+// returns the outcome. Semantics mirror FailoverTables.WalkUnderFaults
+// — an entry is dead iff its link is cut or its target node is failed,
+// the first live ranked entry is taken, Delivered on reaching dst,
+// Blackhole when no live entry exists, Loop on a node revisit
+// (epoch-stamped, allocation-free) — except that a failed src or dst
+// yields Skipped: there is no packet to walk. An entry dead for both
+// reasons records both, so repairing either one alone re-walks the
+// pair (a no-op walk, but never a missed invalidation).
 func (we *WalkEngine) walk(p int32) routing.Outcome {
 	we.trav[p] = we.trav[p][:0]
 	we.blocked[p] = we.blocked[p][:0]
+	we.visited[p] = we.visited[p][:0]
+	we.blockedN[p] = we.blockedN[p][:0]
 	src, dst := we.pairU[p], we.pairV[p]
+	if we.nodeFault.Has(int(src)) || we.nodeFault.Has(int(dst)) {
+		return routing.Skipped
+	}
 	if src == dst {
 		return routing.Delivered
 	}
@@ -427,9 +594,17 @@ func (we *WalkEngine) walk(p int32) routing.Outcome {
 		took := int32(-1)
 		if e := we.entryOf(p, at); e >= 0 {
 			for h := we.hopOff[e]; h < we.hopOff[e+1]; h++ {
-				eid := we.hopEdge[h]
+				eid, nx := we.hopEdge[h], we.hops[h]
+				dead := false
 				if eid >= 0 && we.cut.Has(int(eid)) {
 					we.blocked[p] = append(we.blocked[p], eid)
+					dead = true
+				}
+				if we.nodeFault.Has(int(nx)) {
+					we.blockedN[p] = append(we.blockedN[p], nx)
+					dead = true
+				}
+				if dead {
 					continue
 				}
 				took = h
@@ -443,6 +618,7 @@ func (we *WalkEngine) walk(p int32) routing.Outcome {
 			we.trav[p] = append(we.trav[p], eid)
 		}
 		nx := we.hops[took]
+		we.visited[p] = append(we.visited[p], nx)
 		if nx == dst {
 			return routing.Delivered
 		}

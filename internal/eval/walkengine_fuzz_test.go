@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"reflect"
 	"testing"
 
 	"ftroute/internal/graph"
@@ -31,18 +32,20 @@ func fuzzCutGraph(n int, extra uint64) *graph.Graph {
 }
 
 // FuzzWalkEngineEquivalence pins the incremental WalkEngine to the
-// legacy re-walk path on random tables and random cut-toggle sequences:
-// after every single-link toggle the cached per-pair outcomes and stats
-// must equal a from-scratch walkAllPairs/WalkUnderFaults evaluation,
-// and the engine-backed budget-1 exhaustive adversary must reproduce
-// WorstLinkCutsLegacy exactly. This is the invalidation-correctness
-// property the engine's speed rests on (only pairs whose walk crossed a
-// toggled link are re-walked).
+// legacy re-walk path on random tables and random fault-toggle
+// sequences over both universes: after every single-item toggle (link
+// cut, link repair, node fail, node repair) the cached per-pair
+// outcomes and stats must equal a from-scratch mixed-oracle evaluation
+// (Skipped for failed endpoints, WalkUnderFaults otherwise), and the
+// engine-backed budget-1 exhaustive adversaries — link-only and mixed —
+// must reproduce their legacy searches exactly. This is the
+// invalidation-correctness property the engine's speed rests on (only
+// pairs whose walk touched a toggled item are re-walked).
 func FuzzWalkEngineEquivalence(f *testing.F) {
-	f.Add(uint8(6), uint64(0), uint64(0), uint64(0))
-	f.Add(uint8(10), uint64(0x5a5a), uint64(0x11), uint64(0b1010))
-	f.Add(uint8(12), uint64(0xffff), uint64(0xf0f0), uint64(0x3))
-	f.Fuzz(func(t *testing.T, nRaw uint8, extra, cutBits, repairBits uint64) {
+	f.Add(uint8(6), uint64(0), uint64(0), uint64(0), uint64(0))
+	f.Add(uint8(10), uint64(0x5a5a), uint64(0x11), uint64(0b1010), uint64(0x9))
+	f.Add(uint8(12), uint64(0xffff), uint64(0xf0f0), uint64(0x3), uint64(0x41))
+	f.Fuzz(func(t *testing.T, nRaw uint8, extra, cutBits, repairBits, nodeBits uint64) {
 		n := 4 + int(nRaw)%9 // 4..12 nodes
 		g := fuzzCutGraph(n, extra)
 		r, err := routing.ShortestPath(g)
@@ -58,6 +61,7 @@ func FuzzWalkEngineEquivalence(f *testing.F) {
 		edges := g.Edges()
 
 		cut := map[int]bool{}
+		down := map[int]bool{}
 		check := func(stage string) {
 			var cuts []routing.EdgeFault
 			for i, e := range edges {
@@ -65,14 +69,23 @@ func FuzzWalkEngineEquivalence(f *testing.F) {
 					cuts = append(cuts, routing.EdgeFault{U: e[0], V: e[1]})
 				}
 			}
-			faults := routing.FaultSetOf(n, nil, cuts)
-			if got, want := we.Stats(), walkAllPairs(ft, faults); got != want {
-				t.Fatalf("%s: engine stats %v, legacy %v (cuts %v)", stage, got, want, cuts)
+			var nodes []int
+			for v := 0; v < n; v++ {
+				if down[v] {
+					nodes = append(nodes, v)
+				}
+			}
+			faults := routing.FaultSetOf(n, nodes, cuts)
+			if got, want := we.Stats(), walkAllPairsMixed(ft, faults); got != want {
+				t.Fatalf("%s: engine stats %v, legacy %v (F %v E %v)", stage, got, want, nodes, cuts)
 			}
 			for i, p := range ft.Pairs() {
-				want := ft.WalkUnderFaults(int(p[0]), int(p[1]), faults).Outcome
+				want := routing.Skipped
+				if !faults.NodeFaulty(int(p[0])) && !faults.NodeFaulty(int(p[1])) {
+					want = ft.WalkUnderFaults(int(p[0]), int(p[1]), faults).Outcome
+				}
 				if got := we.Outcome(i); got != want {
-					t.Fatalf("%s: pair (%d,%d) engine %v, legacy %v (cuts %v)", stage, p[0], p[1], got, want, cuts)
+					t.Fatalf("%s: pair (%d,%d) engine %v, legacy %v (F %v E %v)", stage, p[0], p[1], got, want, nodes, cuts)
 				}
 			}
 		}
@@ -86,6 +99,14 @@ func FuzzWalkEngineEquivalence(f *testing.F) {
 			cut[i] = true
 			check("add")
 		}
+		for v := 0; v < n; v++ {
+			if nodeBits&(1<<uint(v)) == 0 {
+				continue
+			}
+			we.AddNodeFault(v)
+			down[v] = true
+			check("fail-node")
+		}
 		for i := 0; i < len(edges) && i < 64; i++ {
 			if repairBits&(1<<uint(i)) == 0 || !cut[i] {
 				continue
@@ -94,11 +115,20 @@ func FuzzWalkEngineEquivalence(f *testing.F) {
 			delete(cut, i)
 			check("remove")
 		}
+		for v := 0; v < n; v++ {
+			if repairBits&(1<<uint(v)) == 0 || !down[v] {
+				continue
+			}
+			we.RemoveNodeFault(v)
+			delete(down, v)
+			check("repair-node")
+		}
 		we.Reset()
-		cut = map[int]bool{}
+		cut, down = map[int]bool{}, map[int]bool{}
 		check("reset")
 
-		// The engine-backed adversary must reproduce the legacy search.
+		// The engine-backed adversaries must reproduce the legacy
+		// searches, witness and Evaluated included.
 		cfg := Config{Mode: Exhaustive}
 		got := WorstLinkCuts(ft, g, 1, cfg)
 		want := WorstLinkCutsLegacy(ft, g, 1, cfg)
@@ -110,6 +140,11 @@ func FuzzWalkEngineEquivalence(f *testing.F) {
 			if got.Worst[i] != want.Worst[i] {
 				t.Fatalf("worst witness diverged: engine %v, legacy %v", got.Worst, want.Worst)
 			}
+		}
+		gotM := WorstMixedFaults(ft, g, 1, cfg)
+		wantM := WorstMixedFaultsLegacy(ft, g, 1, cfg)
+		if !reflect.DeepEqual(gotM, wantM) {
+			t.Fatalf("mixed adversary diverged: engine %v, legacy %v", gotM, wantM)
 		}
 	})
 }

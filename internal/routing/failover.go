@@ -55,6 +55,13 @@ const (
 	// under a static fault set, so a revisit proves the packet would
 	// cycle forever.
 	Loop
+	// Skipped: the pair was not walked at all because its source or
+	// destination node is failed — there is no packet to forward.
+	// WalkUnderFaults never returns it (a faulty endpoint blackholes
+	// there); the mixed-fault adversary of package eval classifies such
+	// pairs separately so killing a pair's own endpoints earns the
+	// adversary no disruption credit.
+	Skipped
 )
 
 // String renders the outcome.
@@ -66,6 +73,8 @@ func (o Outcome) String() string {
 		return "blackhole"
 	case Loop:
 		return "loop"
+	case Skipped:
+		return "skipped"
 	}
 	return fmt.Sprintf("Outcome(%d)", int(o))
 }
