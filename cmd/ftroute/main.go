@@ -6,9 +6,10 @@
 //	ftroute info  -graph <spec>
 //	ftroute plan  -graph <spec>
 //	ftroute route -graph <spec> [-construction auto|kernel|circular|tricircular|bipolar|bipolar-bi]
-//	ftroute tolerate -graph <spec> [-construction ...] [-faults k] [-samples n] [-seed s] [-exhaustive] [-mixed]
+//	ftroute orbits -graph <spec> [-faults k]
+//	ftroute tolerate -graph <spec> [-construction ...] [-faults k] [-samples n] [-seed s] [-exhaustive] [-pruned] [-mixed]
 //	ftroute simulate -graph <spec> [-construction ...] [-faults k] [-samples n] [-seed s]
-//	ftroute failover -graph <spec> [-construction ...] [-cuts k] [-backups b] [-retries r] [-messages n] [-samples n] [-seed s] [-exhaustive] [-mixed]
+//	ftroute failover -graph <spec> [-construction ...] [-cuts k] [-backups b] [-retries r] [-messages n] [-samples n] [-seed s] [-exhaustive] [-pruned] [-mixed] [-lambda w]
 //	ftroute export   -graph <spec> [-construction ...] -table routing.json
 //	ftroute check    -graph <spec> -table routing.json -bound d [-faults k] [-seed s] [-exhaustive]
 //
@@ -59,7 +60,7 @@ func main() {
 	}
 }
 
-var errUsage = errors.New("usage: ftroute <info|plan|route|tolerate|simulate|failover|export|check> -graph <spec> [flags]")
+var errUsage = errors.New("usage: ftroute <info|plan|route|orbits|tolerate|simulate|failover|export|check> -graph <spec> [flags]")
 
 func run(args []string) error {
 	if len(args) < 1 {
@@ -73,7 +74,9 @@ func run(args []string) error {
 		faults       = fs.Int("faults", -1, "fault budget (default: tolerance t)")
 		samples      = fs.Int("samples", 200, "random fault sets when not exhaustive")
 		exhaustive   = fs.Bool("exhaustive", false, "enumerate all fault sets (exponential)")
+		pruned       = fs.Bool("pruned", false, "exhaustive searches: evaluate one fault set per automorphism orbit when the routing respects the symmetry (falls back silently otherwise)")
 		mixed        = fs.Bool("mixed", false, "tolerate/failover: spend the fault budget on nodes and links combined")
+		lambda       = fs.Float64("lambda", 0, "failover -mixed: weight of skipped pairs in the adversary objective disrupted+lambda*skipped")
 		table        = fs.String("table", "", "routing-table file for export/check")
 		bound        = fs.Int("bound", -1, "diameter bound to check (default: construction's bound)")
 		cuts         = fs.Int("cuts", 2, "failover: adversary's link-cut budget")
@@ -100,12 +103,14 @@ func run(args []string) error {
 	case "route":
 		_, _, err := build(g, *construction)
 		return err
+	case "orbits":
+		return orbits(g, *faults)
 	case "tolerate":
-		return tolerate(g, *construction, *faults, *samples, *seed, *exhaustive, *mixed)
+		return tolerate(g, *construction, *faults, *samples, *seed, *exhaustive, *pruned, *mixed)
 	case "simulate":
 		return simulate(g, *construction, *faults, *samples, *seed)
 	case "failover":
-		return failover(g, *construction, *cuts, *backups, *retries, *messages, *samples, *seed, *exhaustive, *mixed)
+		return failover(g, *construction, *cuts, *backups, *retries, *messages, *samples, *seed, *exhaustive, *pruned, *mixed, *lambda)
 	case "export":
 		return export(g, *construction, *table)
 	case "check":
@@ -177,7 +182,7 @@ func simulate(g *ftroute.Graph, construction string, faults, samples int, seed i
 // as a mid-run fault-injection in the simulator: the faults land a
 // third of the way through the workload and are repaired at two
 // thirds, with each stuck message retrying from its stuck node.
-func failover(g *ftroute.Graph, construction string, cuts, backups, retries, messages, samples int, seed int64, exhaustive, mixed bool) error {
+func failover(g *ftroute.Graph, construction string, cuts, backups, retries, messages, samples int, seed int64, exhaustive, pruned, mixed bool, lambda float64) error {
 	r, _, err := build(g, construction)
 	if err != nil {
 		return err
@@ -197,15 +202,23 @@ func failover(g *ftroute.Graph, construction string, cuts, backups, retries, mes
 	cfg := ftroute.EvalConfig{Mode: ftroute.Sampled, Samples: samples, Greedy: true, Seed: seed}
 	mode := "sampled+greedy+concentrator"
 	if exhaustive {
-		cfg = ftroute.EvalConfig{Mode: ftroute.Exhaustive}
+		cfg = ftroute.EvalConfig{Mode: ftroute.Exhaustive, Pruned: pruned}
 		mode = "exhaustive"
+		if pruned {
+			mode = "exhaustive, orbit-pruned"
+		}
 	}
+	cfg.SkippedWeight = lambda
 	var worstNodes []int
 	var worstCuts []ftroute.EdgeFault
 	if mixed {
 		pw := ftroute.WorstMixedFaultsParallel(plain, g, cuts, cfg, 0)
 		rw := ftroute.WorstMixedFaultsParallel(reinforced, g, cuts, cfg, 0)
-		fmt.Printf("adversary (%s, mixed node+link budget %d):\n", mode, cuts)
+		if lambda != 0 {
+			fmt.Printf("adversary (%s, mixed node+link budget %d, objective disrupted+%g*skipped):\n", mode, cuts, lambda)
+		} else {
+			fmt.Printf("adversary (%s, mixed node+link budget %d):\n", mode, cuts)
+		}
 		fmt.Printf("  plain:      %s\n", pw)
 		fmt.Printf("  reinforced: %s\n", rw)
 		fmt.Printf("  reinforced under plain's worst mixed set: %s\n",
@@ -428,6 +441,61 @@ func info(g *ftroute.Graph) error {
 	return nil
 }
 
+// orbits reports the graph's automorphism group, its node/edge/mixed
+// orbit structure, and the pruning factors orbit enumeration would earn
+// over plain exhaustive enumeration at the given fault budget — the
+// structure EvalConfig.Pruned exploits (see docs/symmetry.md).
+func orbits(g *ftroute.Graph, faults int) error {
+	const cap = 1 << 14
+	gr := ftroute.Automorphisms(g)
+	elems := ftroute.GroupElements(gr.N, gr.Gens, cap)
+	if elems == nil {
+		fmt.Printf("automorphism group: order > %d — orbit analysis capped (Pruned would fall back)\n", cap)
+		return nil
+	}
+	fmt.Printf("automorphism group: order %d (%d generators)\n", len(elems), len(gr.Gens))
+	fmt.Printf("orbits: %d node, %d edge, %d mixed item\n",
+		ftroute.OrbitCount(ftroute.NodeOrbits(g.N(), elems)),
+		ftroute.OrbitCount(ftroute.EdgeOrbits(g, elems)),
+		ftroute.OrbitCount(ftroute.MixedOrbits(g, elems)))
+	if faults < 0 {
+		faults = 2
+	}
+	ix := ftroute.NewEdgeItemIndex(g)
+	edgeElems := make([][]int, 0, len(elems))
+	mixedElems := make([][]int, 0, len(elems))
+	for _, p := range elems {
+		ep, ok := ix.Perm(p)
+		if !ok {
+			return fmt.Errorf("ftroute: internal: automorphism does not permute the edges")
+		}
+		mp, ok := ix.MixedPerm(p)
+		if !ok {
+			return fmt.Errorf("ftroute: internal: automorphism does not permute the mixed items")
+		}
+		edgeElems = append(edgeElems, ep)
+		mixedElems = append(mixedElems, mp)
+	}
+	fmt.Printf("orbit pruning of exhaustive fault enumeration, budget <= %d:\n", faults)
+	for _, u := range []struct {
+		name  string
+		items int
+		elems [][]int
+	}{
+		{"node faults ", g.N(), elems},
+		{"link cuts   ", g.M(), edgeElems},
+		{"mixed faults", g.N() + g.M(), mixedElems},
+	} {
+		reps, total := ftroute.NewOrbitEnumerator(u.items, u.elems).Count(faults)
+		factor := "-"
+		if reps > 0 {
+			factor = fmt.Sprintf("%.1fx", float64(total)/float64(reps))
+		}
+		fmt.Printf("  %s %d representatives for %d non-empty sets (%s)\n", u.name, reps, total, factor)
+	}
+	return nil
+}
+
 func plan(g *ftroute.Graph) error {
 	p, err := ftroute.Auto(g, ftroute.Options{})
 	if err != nil {
@@ -511,7 +579,7 @@ func build(g *ftroute.Graph, construction string) (interface {
 	}
 }
 
-func tolerate(g *ftroute.Graph, construction string, faults, samples int, seed int64, exhaustive, mixed bool) error {
+func tolerate(g *ftroute.Graph, construction string, faults, samples int, seed int64, exhaustive, pruned, mixed bool) error {
 	r, bt, err := build(g, construction)
 	if err != nil {
 		return err
@@ -522,7 +590,7 @@ func tolerate(g *ftroute.Graph, construction string, faults, samples int, seed i
 	}
 	cfg := ftroute.EvalConfig{Mode: ftroute.Sampled, Samples: samples, Greedy: true, Seed: seed}
 	if exhaustive {
-		cfg = ftroute.EvalConfig{Mode: ftroute.Exhaustive}
+		cfg = ftroute.EvalConfig{Mode: ftroute.Exhaustive, Pruned: pruned}
 	}
 	if mixed {
 		ms, ok := r.(ftroute.MixedSurvivor)
@@ -534,10 +602,18 @@ func tolerate(g *ftroute.Graph, construction string, faults, samples int, seed i
 		if res.Disconnected {
 			fmt.Printf("  disconnected by nodes %v, links %v (%d sets evaluated)\n",
 				res.WorstNodeFaults, res.WorstEdgeFaults, res.Evaluated)
-			return nil
+		} else {
+			fmt.Printf("  surviving diameter %d (worst nodes %v, links %v; %d sets evaluated)\n",
+				res.MaxDiameter, res.WorstNodeFaults, res.WorstEdgeFaults, res.Evaluated)
 		}
-		fmt.Printf("  surviving diameter %d (worst nodes %v, links %v; %d sets evaluated)\n",
-			res.MaxDiameter, res.WorstNodeFaults, res.WorstEdgeFaults, res.Evaluated)
+		fmt.Printf("worst-case surviving diameter by exact mixed fault-set size:\n")
+		for k, d := range ftroute.MixedDiameterProfile(ms, f, cfg) {
+			status := ""
+			if d < 0 {
+				status = "  DISCONNECTED"
+			}
+			fmt.Printf("  |F|+|E| = %d: %s%s\n", k, diam(d), status)
+		}
 		return nil
 	}
 	profile := ftroute.DiameterProfile(r, f, cfg)

@@ -39,6 +39,7 @@ import (
 	"ftroute/internal/eval"
 	"ftroute/internal/graph"
 	"ftroute/internal/routing"
+	"ftroute/internal/sym"
 )
 
 // Core graph types.
@@ -199,6 +200,12 @@ var (
 	CheckTolerance = eval.CheckTolerance
 	// DiameterProfile reports worst diameters per fault count 0..f.
 	DiameterProfile = eval.Profile
+	// CheckToleranceMixed verifies a (d, f)-tolerance claim over mixed
+	// node∪edge fault sets of total size ≤ f.
+	CheckToleranceMixed = eval.CheckToleranceMixed
+	// MixedDiameterProfile reports worst surviving diameters per exact
+	// mixed fault-set size 0..f (−1 marks disconnection).
+	MixedDiameterProfile = eval.ProfileMixed
 	// NewEvalEngine compiles a routing into an incremental engine.
 	NewEvalEngine = eval.NewEngine
 	// MaxDiameterUnderMixedFaults searches mixed node∪edge fault sets of
@@ -321,6 +328,59 @@ var (
 	// EvaluateMixedFaults walks every table pair under one mixed fault
 	// set (pairs with a failed endpoint count as skipped).
 	EvaluateMixedFaults = eval.EvaluateMixedFaults
+)
+
+// Graph symmetry: automorphism groups, orbits, and the machinery behind
+// EvalConfig.Pruned — orbit-pruned exhaustive fault enumeration for
+// routings and tables that respect a symmetry subgroup (docs/symmetry.md).
+type (
+	// SymmetryGroup is an automorphism group as a generating set.
+	SymmetryGroup = sym.Group
+	// OrbitEnumerator enumerates one canonical representative per orbit
+	// of fault sets, with orbit sizes as multiplicities.
+	OrbitEnumerator = sym.Enumerator
+	// EdgeItemIndex lifts node permutations to edge and mixed-item
+	// permutations over g.Edges() order.
+	EdgeItemIndex = sym.EdgeIndex
+)
+
+var (
+	// Automorphisms computes Aut(G) as a generating set via refinement
+	// and individualization.
+	Automorphisms = sym.Automorphisms
+	// GroupElements expands a generating set into the full element list
+	// (nil when the order exceeds the cap).
+	GroupElements = sym.Elements
+	// NodeOrbits labels each node with its orbit under the given
+	// permutations.
+	NodeOrbits = sym.Orbits
+	// OrbitCount counts distinct labels in an orbit labeling.
+	OrbitCount = sym.OrbitCount
+	// EdgeOrbits labels each edge (g.Edges() order) with its orbit.
+	EdgeOrbits = sym.EdgeOrbits
+	// MixedOrbits labels the n+m mixed fault universe (nodes then edges)
+	// with its orbits.
+	MixedOrbits = sym.MixedOrbits
+	// NewOrbitEnumerator builds an orbit-pruned fault-set enumerator
+	// over an item universe under a group element list.
+	NewOrbitEnumerator = sym.NewEnumerator
+	// NewEdgeItemIndex builds the edge/mixed-item lifting index for g.
+	NewEdgeItemIndex = sym.NewEdgeIndex
+	// RoutingRespects reports whether a routing is strictly equivariant
+	// under one node permutation.
+	RoutingRespects = sym.RoutingRespects
+	// TablesRespect reports whether failover tables are strictly
+	// equivariant under one node permutation.
+	TablesRespect = sym.TablesRespect
+	// RespectingElements filters a group element list to those a keep
+	// predicate accepts (the respecting elements form a subgroup).
+	RespectingElements = sym.Respecting
+	// TransportRouting makes a routing strictly equivariant under a
+	// subgroup by transporting orbit-representative routes.
+	TransportRouting = sym.TransportRouting
+	// FreePairSubgroup extracts a subgroup acting freely on ordered
+	// pairs, the precondition for conflict-free transport.
+	FreePairSubgroup = sym.FreePairSubgroup
 )
 
 // Beyond-tolerance analysis (the paper's Open Problem 3).

@@ -83,6 +83,23 @@ type Config struct {
 	// search that grows a fault set one node at a time, always picking
 	// the node that maximizes the surviving diameter.
 	Greedy bool
+	// Pruned enables, in Exhaustive mode, orbit pruning: when the
+	// routing (or failover tables) is strictly equivariant under a
+	// nontrivial subgroup of the graph's automorphism group, only one
+	// canonical representative per fault-set orbit is evaluated and its
+	// orbit size reconstructs the full Evaluated count. Results carry
+	// the same worst scores and counts as the plain enumeration; the
+	// reported witness is the canonical member of a worst orbit, which
+	// may differ from the plain witness set. When the symmetry check
+	// fails (or the group is trivial or too large) the search silently
+	// falls back to the plain enumeration. See docs/symmetry.md.
+	Pruned bool
+	// SkippedWeight is the λ of the mixed packet-level adversary
+	// (WorstMixedFaults): fault sets are ranked by the score
+	// disrupted + λ·skipped instead of disrupted pairs alone, letting
+	// the adversary trade stranded packets against dead endpoints. The
+	// default 0 preserves the pure-disruption objective bit for bit.
+	SkippedWeight float64
 }
 
 // Result reports the worst case found.
@@ -107,6 +124,11 @@ func (r Result) String() string {
 func MaxDiameter(s Survivor, f int, cfg Config) Result {
 	switch cfg.Mode {
 	case Exhaustive:
+		if cfg.Pruned {
+			if res, ok := exhaustivePruned(s, f, 1); ok {
+				return res
+			}
+		}
 		return exhaustive(s, f)
 	default:
 		return sampled(s, f, cfg)
@@ -344,7 +366,7 @@ func (e *Engine) greedyAdversary(f int, res *Result) {
 // counterexample is the first one in enumeration order (the legacy path
 // reports the globally worst set; both witness the same claim failure).
 func CheckTolerance(s Survivor, d, f int, cfg Config) error {
-	if cfg.Mode == Exhaustive {
+	if cfg.Mode == Exhaustive && !cfg.Pruned {
 		if eng := engineFor(s); eng != nil {
 			return eng.checkTolerance(d, f)
 		}

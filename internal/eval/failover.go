@@ -121,6 +121,31 @@ func walkAllPairsMixed(t *routing.FailoverTables, faults *routing.FaultSet) CutS
 // enumeration order the reported worst set is deterministic too.
 func cutWorse(a, b CutStats) bool { return a.Disrupted() > b.Disrupted() }
 
+// isWorse applies a custom strict-improvement comparison, defaulting to
+// cutWorse when worse is nil — the hook the weighted mixed adversary
+// threads its λ objective through.
+func isWorse(worse func(a, b CutStats) bool, a, b CutStats) bool {
+	if worse == nil {
+		return cutWorse(a, b)
+	}
+	return worse(a, b)
+}
+
+// worseForWeight builds the comparator for Config.SkippedWeight: fault
+// sets are ranked by disrupted + λ·skipped, still a strict improvement
+// test so ties keep the incumbent. λ == 0 returns nil, leaving every
+// comparison on the plain cutWorse path — results stay bit for bit
+// (and reflect.DeepEqual-comparable) with the λ-free searches.
+func worseForWeight(lambda float64) func(a, b CutStats) bool {
+	if lambda == 0 {
+		return nil
+	}
+	return func(a, b CutStats) bool {
+		return float64(a.Disrupted())+lambda*float64(a.Skipped) >
+			float64(b.Disrupted())+lambda*float64(b.Skipped)
+	}
+}
+
 // consider folds one evaluated cut set into the running result.
 func (r *CutResult) consider(cuts []routing.EdgeFault, s CutStats) {
 	r.Evaluated++

@@ -31,7 +31,7 @@ import (
 // The search runs on the incremental WalkEngine; results are
 // bit-for-bit identical to WorstLinkCutsLegacy.
 func WorstLinkCuts(t *routing.FailoverTables, g *graph.Graph, budget int, cfg Config) CutResult {
-	return worstLinkCuts(NewWalkEngine(t, g), budget, cfg, 1)
+	return worstLinkCutsOn(t, g, budget, cfg, 1)
 }
 
 // WorstLinkCutsParallel is WorstLinkCuts fanned out over worker
@@ -45,7 +45,36 @@ func WorstLinkCutsParallel(t *routing.FailoverTables, g *graph.Graph, budget int
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return worstLinkCuts(NewWalkEngine(t, g), budget, cfg, workers)
+	return worstLinkCutsOn(t, g, budget, cfg, workers)
+}
+
+// worstLinkCutsOn compiles the engine and, in Exhaustive mode with
+// cfg.Pruned, tries the orbit-pruned enumeration first: when the tables
+// are strictly equivariant under a nontrivial automorphism subgroup,
+// only one canonical representative per cut-set orbit is walked and its
+// orbit size reconstructs the plain Evaluated count. Otherwise (or when
+// the symmetry check fails) it runs the plain search.
+func worstLinkCutsOn(t *routing.FailoverTables, g *graph.Graph, budget int, cfg Config, workers int) CutResult {
+	we := NewWalkEngine(t, g)
+	if cfg.Mode == Exhaustive && cfg.Pruned {
+		b := budget
+		if b < 0 {
+			b = 0
+		}
+		if b > we.m {
+			b = we.m
+		}
+		if plan := cutReps(t, g, b); plan != nil {
+			res := CutResult{Worst: []routing.EdgeFault{}, Stats: we.Stats(), Evaluated: 1}
+			if workers > 1 {
+				we.evalPrunedCutsParallel(plan, workers, &res)
+			} else {
+				we.evalPrunedCuts(plan, &res)
+			}
+			return res
+		}
+	}
+	return worstLinkCuts(we, budget, cfg, workers)
 }
 
 // worstLinkCuts is the shared search driver over one compiled engine.

@@ -90,8 +90,12 @@ func evalOneMixed(s MixedSurvivor, nf *graph.Bitset, edges []routing.EdgeFault, 
 
 // foldMixed evaluates the engine's current mixed fault set into res
 // with exactly the semantics of evalOneMixed.
-func (e *Engine) foldMixed(res *MixedResult) {
-	res.Evaluated++
+func (e *Engine) foldMixed(res *MixedResult) { e.foldMixedW(res, 1) }
+
+// foldMixedW is foldMixed counting the current set for mult
+// evaluations, the mixed counterpart of foldW.
+func (e *Engine) foldMixedW(res *MixedResult, mult int) {
+	res.Evaluated += mult
 	if e.aliveCount <= 1 {
 		return
 	}
@@ -120,6 +124,11 @@ func (e *Engine) foldMixed(res *MixedResult) {
 func MaxDiameterMixed(s MixedSurvivor, f int, cfg Config) MixedResult {
 	switch cfg.Mode {
 	case Exhaustive:
+		if cfg.Pruned {
+			if res, ok := exhaustiveMixedPruned(s, f, 1); ok {
+				return res
+			}
+		}
 		return exhaustiveMixed(s, f)
 	default:
 		return sampledMixed(s, f, cfg)
@@ -223,6 +232,14 @@ func drawMixedFaults(rng *rand.Rand, n int, edges [][2]int, f int) (*graph.Bitse
 // sampledMixed draws random mixed sets of size exactly f (clamped to
 // the universe size) and optionally runs the greedy mixed adversary.
 func sampledMixed(s MixedSurvivor, f int, cfg Config) MixedResult {
+	return sampledMixedWith(s, engineFor(s), f, cfg)
+}
+
+// sampledMixedWith is sampledMixed over a caller-provided engine (nil
+// forces the legacy path), so ProfileMixed can compile the engine once
+// and reuse it across fault counts. The engine must be fault-free on
+// entry and is left fault-free on return.
+func sampledMixedWith(s MixedSurvivor, eng *Engine, f int, cfg Config) MixedResult {
 	n := s.Graph().N()
 	edges := s.Graph().Edges()
 	if f > n+len(edges) {
@@ -236,7 +253,6 @@ func sampledMixed(s MixedSurvivor, f int, cfg Config) MixedResult {
 		samples = 200
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	eng := engineFor(s)
 	res := MixedResult{WorstNodeFaults: graph.NewBitset(n)}
 	if eng != nil {
 		eng.foldMixed(&res) // empty set
@@ -399,6 +415,159 @@ func GreedyEdgeAdversary(s MixedSurvivor, f int) MixedResult {
 	evalOneMixed(s, graph.NewBitset(n), nil, &res)
 	greedyMixed(s, f, edges, false, &res)
 	return res
+}
+
+// ProfileMixed reports, for each total mixed fault-set size 0..f — the
+// combined count of failed nodes and cut links — the worst surviving
+// diameter found (-1 encodes disconnection). It is the mixed-universe
+// counterpart of Profile, sharing cfg semantics with MaxDiameterMixed
+// but evaluating each size separately.
+func ProfileMixed(s MixedSurvivor, f int, cfg Config) []int {
+	out := make([]int, f+1)
+	eng := engineFor(s) // compiled once, reused across fault counts
+	edges := s.Graph().Edges()
+	for k := 0; k <= f; k++ {
+		var res MixedResult
+		switch {
+		case cfg.Mode == Exhaustive && eng != nil:
+			res = eng.exhaustiveExactMixed(k, edges)
+		case cfg.Mode == Exhaustive:
+			res = exhaustiveExactMixed(s, k)
+		default:
+			res = sampledMixedWith(s, eng, k, cfg)
+		}
+		if res.Disconnected {
+			out[k] = -1
+		} else {
+			out[k] = res.MaxDiameter
+		}
+	}
+	return out
+}
+
+// exhaustiveExactMixed enumerates mixed fault sets of total size exactly
+// k (legacy path).
+func exhaustiveExactMixed(s MixedSurvivor, k int) MixedResult {
+	n := s.Graph().N()
+	edges := s.Graph().Edges()
+	items := n + len(edges)
+	res := MixedResult{WorstNodeFaults: graph.NewBitset(n)}
+	nf := graph.NewBitset(n)
+	var cur []routing.EdgeFault
+	var rec func(start, left int)
+	rec = func(start, left int) {
+		if left == 0 {
+			evalOneMixed(s, nf, cur, &res)
+			return
+		}
+		if items-start < left {
+			return
+		}
+		for v := start; v < items; v++ {
+			if v < n {
+				nf.Add(v)
+			} else {
+				ed := edges[v-n]
+				cur = append(cur, routing.EdgeFault{U: ed[0], V: ed[1]})
+			}
+			rec(v+1, left-1)
+			if v < n {
+				nf.Remove(v)
+			} else {
+				cur = cur[:len(cur)-1]
+			}
+		}
+	}
+	rec(0, k)
+	return res
+}
+
+// exhaustiveExactMixed enumerates mixed fault sets of total size exactly
+// k incrementally. The engine must start fault-free and is restored on
+// return.
+func (e *Engine) exhaustiveExactMixed(k int, edges [][2]int) MixedResult {
+	res := MixedResult{WorstNodeFaults: graph.NewBitset(e.n)}
+	items := e.n + len(edges)
+	var rec func(start, left int)
+	rec = func(start, left int) {
+		if left == 0 {
+			e.foldMixed(&res)
+			return
+		}
+		if items-start < left {
+			return
+		}
+		for v := start; v < items; v++ {
+			e.toggleItem(v, edges, true)
+			rec(v+1, left-1)
+			e.toggleItem(v, edges, false)
+		}
+	}
+	rec(0, k)
+	return res
+}
+
+// CheckToleranceMixed verifies a mixed (d, f)-tolerance claim: it
+// returns nil when every evaluated mixed fault set of total size at
+// most f — failed nodes plus cut links combined — leaves the surviving
+// graph with diameter at most d. In Exhaustive mode this is a proof
+// over the instance; in Sampled mode it is a statistical check. The
+// engine path stops at the first violation in enumeration order, like
+// CheckTolerance.
+func CheckToleranceMixed(s MixedSurvivor, d, f int, cfg Config) error {
+	if cfg.Mode == Exhaustive && !cfg.Pruned {
+		if eng := engineFor(s); eng != nil {
+			return eng.checkToleranceMixed(d, f, s.Graph().Edges())
+		}
+	}
+	res := MaxDiameterMixed(s, f, cfg)
+	if res.Disconnected {
+		return fmt.Errorf("eval: mixed fault set nodes %v links %v disconnects the surviving graph (claimed (%d,%d)-tolerant)", res.WorstNodeFaults, res.WorstEdgeFaults, d, f)
+	}
+	if res.MaxDiameter > d {
+		return fmt.Errorf("eval: mixed fault set nodes %v links %v gives diameter %d (claimed (%d,%d)-tolerant)", res.WorstNodeFaults, res.WorstEdgeFaults, res.MaxDiameter, d, f)
+	}
+	return nil
+}
+
+// checkToleranceMixed walks the exhaustive mixed enumeration with the
+// bounded diameter scan, returning the first (d, f)-violation found.
+func (e *Engine) checkToleranceMixed(d, f int, edges [][2]int) error {
+	if f < 0 {
+		f = 0
+	}
+	check := func() error {
+		if e.AliveCount() <= 1 || e.DiameterAtMost(d) {
+			return nil
+		}
+		diam, ok := e.Diameter()
+		if !ok {
+			return fmt.Errorf("eval: mixed fault set nodes %v links %v disconnects the surviving graph (claimed (%d,%d)-tolerant)", e.faults, e.EdgeFaults(), d, f)
+		}
+		return fmt.Errorf("eval: mixed fault set nodes %v links %v gives diameter %d (claimed (%d,%d)-tolerant)", e.faults, e.EdgeFaults(), diam, d, f)
+	}
+	if err := check(); err != nil {
+		return err
+	}
+	items := e.n + len(edges)
+	var rec func(start, left int) error
+	rec = func(start, left int) error {
+		if left == 0 {
+			return nil
+		}
+		for v := start; v < items; v++ {
+			e.toggleItem(v, edges, true)
+			if err := check(); err != nil {
+				return err
+			}
+			if err := rec(v+1, left-1); err != nil {
+				return err
+			}
+			e.toggleItem(v, edges, false)
+		}
+		return nil
+	}
+	return rec(0, f)
 }
 
 // ConcentratorEdgeAdversary enumerates every subset of size at most f

@@ -30,6 +30,12 @@ type MixedCutResult struct {
 	WorstCuts  []routing.EdgeFault // link part, normalized and sorted
 	Stats      CutStats            // outcomes under the worst set
 	Evaluated  int                 // number of mixed fault sets evaluated
+
+	// worse is the strict-improvement comparison used while searching
+	// (nil means cutWorse). It carries Config.SkippedWeight's λ through
+	// every fold and is cleared before the result is returned, so
+	// returned values stay plain data.
+	worse func(a, b CutStats) bool
 }
 
 // String renders the result compactly.
@@ -50,7 +56,7 @@ func sortedNodes(nodes []int) []int {
 // (legacy path; the engine path uses considerEngine).
 func (r *MixedCutResult) consider(nodes []int, cuts []routing.EdgeFault, s CutStats) {
 	r.Evaluated++
-	if cutWorse(s, r.Stats) {
+	if isWorse(r.worse, s, r.Stats) {
 		r.Stats = s
 		r.WorstNodes = sortedNodes(nodes)
 		r.WorstCuts = sortedEdgeFaults(cuts)
@@ -60,9 +66,15 @@ func (r *MixedCutResult) consider(nodes []int, cuts []routing.EdgeFault, s CutSt
 // considerEngine folds the engine's current mixed fault set into the
 // running result, materializing the canonical witness only on strict
 // improvement.
-func (r *MixedCutResult) considerEngine(we *WalkEngine) {
-	r.Evaluated++
-	if s := we.Stats(); cutWorse(s, r.Stats) {
+func (r *MixedCutResult) considerEngine(we *WalkEngine) { r.considerEngineW(we, 1) }
+
+// considerEngineW is considerEngine counting the current set for mult
+// evaluations — the orbit-pruned search folds one canonical
+// representative per orbit and reconstructs the plain Evaluated count
+// from orbit sizes.
+func (r *MixedCutResult) considerEngineW(we *WalkEngine, mult int) {
+	r.Evaluated += mult
+	if s := we.Stats(); isWorse(r.worse, s, r.Stats) {
 		r.Stats = s
 		r.WorstNodes = we.NodeFaultList()
 		r.WorstCuts = we.CutList()
@@ -88,7 +100,7 @@ func EvaluateMixedFaults(t *routing.FailoverTables, nodes []int, cuts []routing.
 // empty set is always evaluated first. Results are bit-for-bit
 // identical to WorstMixedFaultsLegacy.
 func WorstMixedFaults(t *routing.FailoverTables, g *graph.Graph, budget int, cfg Config) MixedCutResult {
-	return worstMixedFaults(NewWalkEngine(t, g), budget, cfg, 1)
+	return worstMixedFaultsOn(t, g, budget, cfg, 1)
 }
 
 // WorstMixedFaultsParallel is WorstMixedFaults fanned out over worker
@@ -100,7 +112,38 @@ func WorstMixedFaultsParallel(t *routing.FailoverTables, g *graph.Graph, budget 
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return worstMixedFaults(NewWalkEngine(t, g), budget, cfg, workers)
+	return worstMixedFaultsOn(t, g, budget, cfg, workers)
+}
+
+// worstMixedFaultsOn compiles the engine and, in Exhaustive mode with
+// cfg.Pruned, tries the orbit-pruned enumeration first: when the tables
+// are strictly equivariant under a nontrivial automorphism subgroup,
+// only one canonical representative per mixed-set orbit is walked.
+// Otherwise (or when the symmetry check fails) it runs the plain search.
+func worstMixedFaultsOn(t *routing.FailoverTables, g *graph.Graph, budget int, cfg Config, workers int) MixedCutResult {
+	we := NewWalkEngine(t, g)
+	if cfg.Mode == Exhaustive && cfg.Pruned {
+		items := we.n + we.m
+		b := budget
+		if b < 0 {
+			b = 0
+		}
+		if b > items {
+			b = items
+		}
+		if plan := mixedCutReps(t, g, b); plan != nil {
+			res := MixedCutResult{WorstNodes: []int{}, WorstCuts: []routing.EdgeFault{},
+				Stats: we.Stats(), Evaluated: 1, worse: worseForWeight(cfg.SkippedWeight)}
+			if workers > 1 {
+				we.evalPrunedMixedCutsParallel(plan, workers, &res)
+			} else {
+				we.evalPrunedMixedCuts(plan, &res)
+			}
+			res.worse = nil
+			return res
+		}
+	}
+	return worstMixedFaults(we, budget, cfg, workers)
 }
 
 // worstMixedFaults is the shared search driver over one compiled engine.
@@ -114,16 +157,19 @@ func worstMixedFaults(we *WalkEngine, budget int, cfg Config, workers int) Mixed
 	}
 	// The empty set seeds the incumbent unconditionally; consider only
 	// replaces it on strictly more disruption.
-	res := MixedCutResult{WorstNodes: []int{}, WorstCuts: []routing.EdgeFault{}, Stats: we.Stats(), Evaluated: 1}
+	res := MixedCutResult{WorstNodes: []int{}, WorstCuts: []routing.EdgeFault{},
+		Stats: we.Stats(), Evaluated: 1, worse: worseForWeight(cfg.SkippedWeight)}
 	if cfg.Mode == Exhaustive {
 		if workers > 1 && budget > 0 {
 			we.exhaustiveMixedCutsParallel(budget, workers, &res)
 		} else {
 			we.descendMixedCuts(0, budget, &res)
 		}
+		res.worse = nil
 		return res
 	}
 	we.sampledMixedCuts(budget, cfg, workers, &res)
+	res.worse = nil
 	return res
 }
 
@@ -149,7 +195,7 @@ func (we *WalkEngine) descendMixedCuts(start, left int, res *MixedCutResult) {
 // first-strictly-better witness exactly.
 func mergeOrderedMixedCuts(merged *MixedCutResult, r MixedCutResult) {
 	merged.Evaluated += r.Evaluated
-	if cutWorse(r.Stats, merged.Stats) {
+	if isWorse(merged.worse, r.Stats, merged.Stats) {
 		merged.Stats = r.Stats
 		merged.WorstNodes = r.WorstNodes
 		merged.WorstCuts = r.WorstCuts
@@ -191,7 +237,7 @@ func (we *WalkEngine) exhaustiveMixedCutsParallel(budget, workers int, res *Mixe
 					c = we.Clone()
 				}
 				for i := lo; i < hi; i++ {
-					var sub MixedCutResult
+					sub := MixedCutResult{worse: res.worse}
 					c.toggleMixedItem(i, true)
 					sub.considerEngine(c)
 					c.descendMixedCuts(i+1, budget-1, &sub)
@@ -259,7 +305,7 @@ func (we *WalkEngine) sampledMixedCuts(budget int, cfg Config, workers int, res 
 							c = clones[w]
 						}
 						c.setMixedItemIDs(sets[i])
-						var sub MixedCutResult
+						sub := MixedCutResult{worse: res.worse}
 						sub.considerEngine(c)
 						per[i] = sub
 					}
@@ -385,7 +431,7 @@ func (we *WalkEngine) greedyMixedCuts(budget, workers int, clones []*WalkEngine,
 				continue
 			}
 			res.Evaluated++
-			if bestI == -1 || cutWorse(verdicts[i], bestStats) {
+			if bestI == -1 || isWorse(res.worse, verdicts[i], bestStats) {
 				bestI, bestStats = i, verdicts[i]
 			}
 		}
@@ -399,7 +445,7 @@ func (we *WalkEngine) greedyMixedCuts(budget, workers int, clones []*WalkEngine,
 				c.toggleMixedItem(bestI, true)
 			}
 		}
-		if cutWorse(bestStats, res.Stats) {
+		if isWorse(res.worse, bestStats, res.Stats) {
 			res.Stats = bestStats
 			res.WorstNodes = we.NodeFaultList()
 			res.WorstCuts = we.CutList()
@@ -424,12 +470,15 @@ func WorstMixedFaultsLegacy(t *routing.FailoverTables, g *graph.Graph, budget in
 	if budget > items {
 		budget = items
 	}
-	res := MixedCutResult{WorstNodes: []int{}, WorstCuts: []routing.EdgeFault{}, Stats: walkAllPairsMixed(t, st.faults), Evaluated: 1}
+	res := MixedCutResult{WorstNodes: []int{}, WorstCuts: []routing.EdgeFault{},
+		Stats: walkAllPairsMixed(t, st.faults), Evaluated: 1, worse: worseForWeight(cfg.SkippedWeight)}
 	if cfg.Mode == Exhaustive {
 		st.descend(0, budget, &res)
+		res.worse = nil
 		return res
 	}
 	st.sampled(budget, cfg, &res)
+	res.worse = nil
 	return res
 }
 
@@ -579,7 +628,7 @@ func (st *legacyMixedWalkState) greedy(budget int, res *MixedCutResult) {
 			st.toggle(v, true)
 			res.Evaluated++
 			s := st.eval()
-			if bestI == -1 || cutWorse(s, bestStats) {
+			if bestI == -1 || isWorse(res.worse, s, bestStats) {
 				bestI, bestStats = v, s
 			}
 			st.toggle(v, false)
@@ -590,7 +639,7 @@ func (st *legacyMixedWalkState) greedy(budget int, res *MixedCutResult) {
 		chosen.Add(bestI)
 		st.toggle(bestI, true)
 		grown = append(grown, bestI)
-		if cutWorse(bestStats, res.Stats) {
+		if isWorse(res.worse, bestStats, res.Stats) {
 			res.Stats = bestStats
 			res.WorstNodes = sortedNodes(st.nodes)
 			res.WorstCuts = sortedEdgeFaults(st.cuts)

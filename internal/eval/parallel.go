@@ -36,6 +36,11 @@ func MaxDiameterParallel(s Survivor, f int, cfg Config, workers int) Result {
 	if workers == 1 || f == 0 {
 		return MaxDiameter(s, f, cfg)
 	}
+	if cfg.Pruned {
+		if res, ok := exhaustivePruned(s, f, workers); ok {
+			return res
+		}
+	}
 	if eng != nil {
 		return eng.exhaustiveParallel(f, workers)
 	}
@@ -282,6 +287,11 @@ func MaxDiameterMixedParallel(s MixedSurvivor, f int, cfg Config, workers int) M
 	edges := s.Graph().Edges()
 	if cfg.Mode != Exhaustive {
 		return eng.sampledMixedParallel(s, f, cfg, workers, edges)
+	}
+	if cfg.Pruned {
+		if res, ok := exhaustiveMixedPruned(s, f, workers); ok {
+			return res
+		}
 	}
 	return eng.exhaustiveMixedParallel(f, workers, edges)
 }

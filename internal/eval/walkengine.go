@@ -53,6 +53,7 @@ type WalkEngine struct {
 	hopEdge      []int32         // hop -> edge id of the (at, hop) link; -1 = not a graph edge, never cuttable
 	edgeU, edgeV []int32         // edge id -> endpoints (u < v), g.Edges() order
 	edgeID       map[int64]int32 // normalized endpoint key -> edge id
+	pairID       map[int64]int32 // src<<32|dst -> pair id
 	entriesAt    []int32         // node -> decisions held (concentrator probe)
 	endpointRows []uint64        // node -> bitset over pairs with the node as src or dst
 
@@ -64,6 +65,7 @@ type WalkEngine struct {
 	blocked       [][]int32 // pair -> cut edge ids its walk consulted and skipped
 	visited       [][]int32 // pair -> nodes its walk enters (src excluded, dst included)
 	blockedN      [][]int32 // pair -> failed nodes its walk consulted entries toward and skipped
+	fails         []int32   // pair -> hops its walk took on a backup (rank > 0) entry
 	travRows      []uint64  // edge -> bitset over pairs with the edge in trav
 	blockRows     []uint64  // edge -> bitset over pairs with the edge in blocked
 	visitRows     []uint64  // node -> bitset over pairs with the node in visited
@@ -100,11 +102,12 @@ func NewWalkEngine(t *routing.FailoverTables, g *graph.Graph) *WalkEngine {
 		we.edgeU[i], we.edgeV[i] = int32(e[0]), int32(e[1])
 		we.edgeID[edgeKeyNorm(e[0], e[1])] = int32(i)
 	}
-	pairID := make(map[int64]int32, P)
+	we.pairID = make(map[int64]int32, P)
 	for i, p := range tpairs {
 		we.pairU[i], we.pairV[i] = p[0], p[1]
-		pairID[int64(p[0])<<32|int64(p[1])] = int32(i)
+		we.pairID[int64(p[0])<<32|int64(p[1])] = int32(i)
 	}
+	pairID := we.pairID // alias for the compile closures below
 	for v := 0; v < we.n && v < t.N(); v++ {
 		we.entriesAt[v] = int32(t.EntriesAt(v))
 	}
@@ -172,6 +175,7 @@ func NewWalkEngine(t *routing.FailoverTables, g *graph.Graph) *WalkEngine {
 	we.blocked = make([][]int32, P)
 	we.visited = make([][]int32, P)
 	we.blockedN = make([][]int32, P)
+	we.fails = make([]int32, P)
 	we.travRows = make([]uint64, we.m*we.pairWords)
 	we.blockRows = make([]uint64, we.m*we.pairWords)
 	we.visitRows = make([]uint64, we.n*we.pairWords)
@@ -208,6 +212,7 @@ func (we *WalkEngine) Clone() *WalkEngine {
 	c.blocked = cloneLinkLists(we.blocked)
 	c.visited = cloneLinkLists(we.visited)
 	c.blockedN = cloneLinkLists(we.blockedN)
+	c.fails = append([]int32(nil), we.fails...)
 	c.travRows = append([]uint64(nil), we.travRows...)
 	c.blockRows = append([]uint64(nil), we.blockRows...)
 	c.visitRows = append([]uint64(nil), we.visitRows...)
@@ -269,6 +274,35 @@ func (we *WalkEngine) DisruptedPairs() [][2]int32 {
 		}
 	}
 	return out
+}
+
+// PairID returns the pair id of the ordered pair (src, dst), or -1 when
+// the tables hold no entry for it. Pair ids index the per-pair walk
+// accessors below and stay valid for the engine's lifetime.
+func (we *WalkEngine) PairID(src, dst int) int {
+	if id, ok := we.pairID[int64(src)<<32|int64(dst)]; ok {
+		return int(id)
+	}
+	return -1
+}
+
+// WalkHops returns the link traversals of pair p's cached walk under
+// the current fault set — len(Path)-1 of the equivalent WalkUnderFaults
+// result. Skipped pairs report 0.
+func (we *WalkEngine) WalkHops(p int) int { return len(we.visited[p]) }
+
+// WalkFailovers returns how many hops of pair p's cached walk used a
+// backup (rank > 0) entry, matching WalkResult.Failovers.
+func (we *WalkEngine) WalkFailovers(p int) int { return int(we.fails[p]) }
+
+// WalkStuck returns the node pair p's cached walk ended at: dst when
+// delivered, the dead-end node on a blackhole, the first revisited node
+// on a loop, and the source when the walk never left it.
+func (we *WalkEngine) WalkStuck(p int) int {
+	if l := we.visited[p]; len(l) > 0 {
+		return int(l[len(l)-1])
+	}
+	return int(we.pairU[p])
 }
 
 // CutList returns the current cut set, normalized and sorted (edge-id
@@ -580,6 +614,7 @@ func (we *WalkEngine) walk(p int32) routing.Outcome {
 	we.blocked[p] = we.blocked[p][:0]
 	we.visited[p] = we.visited[p][:0]
 	we.blockedN[p] = we.blockedN[p][:0]
+	we.fails[p] = 0
 	src, dst := we.pairU[p], we.pairV[p]
 	if we.nodeFault.Has(int(src)) || we.nodeFault.Has(int(dst)) {
 		return routing.Skipped
@@ -591,7 +626,7 @@ func (we *WalkEngine) walk(p int32) routing.Outcome {
 	we.stamp[src] = we.epoch
 	at := src
 	for {
-		took := int32(-1)
+		took, backup := int32(-1), false
 		if e := we.entryOf(p, at); e >= 0 {
 			for h := we.hopOff[e]; h < we.hopOff[e+1]; h++ {
 				eid, nx := we.hopEdge[h], we.hops[h]
@@ -607,12 +642,15 @@ func (we *WalkEngine) walk(p int32) routing.Outcome {
 				if dead {
 					continue
 				}
-				took = h
+				took, backup = h, h > we.hopOff[e]
 				break
 			}
 		}
 		if took < 0 {
 			return routing.Blackhole
+		}
+		if backup {
+			we.fails[p]++
 		}
 		if eid := we.hopEdge[took]; eid >= 0 {
 			we.trav[p] = append(we.trav[p], eid)

@@ -1,0 +1,179 @@
+package eval
+
+import (
+	"reflect"
+	"testing"
+
+	"ftroute/internal/gen"
+	"ftroute/internal/graph"
+	"ftroute/internal/routing"
+)
+
+func petersenTables(t *testing.T) (*routing.FailoverTables, *routing.Routing) {
+	t.Helper()
+	g := gen.Petersen()
+	r, err := routing.ShortestPath(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return routing.FailoverFromRouting(r), r
+}
+
+// weightedScore is the λ objective the SkippedWeight comparator ranks by.
+func weightedScore(s CutStats, lambda float64) float64 {
+	return float64(s.Disrupted()) + lambda*float64(s.Skipped)
+}
+
+func TestSkippedWeightMatchesLegacy(t *testing.T) {
+	ft, _ := petersenTables(t)
+	g := gen.Petersen()
+	for _, cfg := range []Config{
+		{Mode: Exhaustive, SkippedWeight: 0.7},
+		{Samples: 50, Seed: 7, Greedy: true, SkippedWeight: 0.7},
+	} {
+		eng := WorstMixedFaults(ft, g, 2, cfg)
+		leg := WorstMixedFaultsLegacy(ft, g, 2, cfg)
+		if !reflect.DeepEqual(eng, leg) {
+			t.Fatalf("cfg %+v: engine %v, legacy %v", cfg, eng, leg)
+		}
+	}
+}
+
+// TestSkippedWeightZeroIsPlain pins the λ=0 contract: the default
+// weight changes nothing, bit for bit, against the legacy oracle and
+// the pruned path alike.
+func TestSkippedWeightZeroIsPlain(t *testing.T) {
+	ft, _ := petersenTables(t)
+	g := gen.Petersen()
+	cfg := Config{Mode: Exhaustive}
+	plain := WorstMixedFaults(ft, g, 2, cfg)
+	cfg.SkippedWeight = 0
+	again := WorstMixedFaults(ft, g, 2, cfg)
+	leg := WorstMixedFaultsLegacy(ft, g, 2, cfg)
+	if !reflect.DeepEqual(plain, again) || !reflect.DeepEqual(plain, leg) {
+		t.Fatalf("λ=0 not bit-for-bit: engine %v, again %v, legacy %v", plain, again, leg)
+	}
+}
+
+// TestSkippedWeightPrefersSkipped checks that a large λ makes node
+// kills (which only score through Skipped) attractive: the weighted
+// adversary's witness must dominate the unweighted witness under the
+// weighted objective, and must actually skip pairs.
+func TestSkippedWeightPrefersSkipped(t *testing.T) {
+	ft, _ := petersenTables(t)
+	g := gen.Petersen()
+	const lambda = 1000
+	plain := WorstMixedFaults(ft, g, 1, Config{Mode: Exhaustive})
+	heavy := WorstMixedFaults(ft, g, 1, Config{Mode: Exhaustive, SkippedWeight: lambda})
+	if heavy.Stats.Skipped == 0 {
+		t.Fatalf("λ=%v witness skips nothing: %v", float64(lambda), heavy)
+	}
+	if weightedScore(heavy.Stats, lambda) < weightedScore(plain.Stats, lambda) {
+		t.Fatalf("weighted witness %v scores below unweighted witness %v", heavy, plain)
+	}
+	if got := EvaluateMixedFaults(ft, heavy.WorstNodes, heavy.WorstCuts); got != heavy.Stats {
+		t.Fatalf("witness re-evaluates to %v, result claims %v", got, heavy.Stats)
+	}
+}
+
+// TestSkippedWeightPruned checks λ rides through the orbit-pruned path.
+func TestSkippedWeightPruned(t *testing.T) {
+	g, r := transported(t, "CCC(3)")
+	ft := routing.FailoverFromRouting(r)
+	cfg := Config{Mode: Exhaustive, SkippedWeight: 0.7}
+	plain := WorstMixedFaults(ft, g, 2, cfg)
+	cfg.Pruned = true
+	pruned := WorstMixedFaults(ft, g, 2, cfg)
+	if pruned.Stats != plain.Stats || pruned.Evaluated != plain.Evaluated {
+		t.Fatalf("pruned %v, plain %v", pruned, plain)
+	}
+	par := WorstMixedFaultsParallel(ft, g, 2, cfg, 4)
+	if !reflect.DeepEqual(pruned, par) {
+		t.Fatalf("serial pruned %v, parallel pruned %v", pruned, par)
+	}
+}
+
+// TestProfileMixedConsistency differentials ProfileMixed against
+// MaxDiameterMixed: the worst diameter over sets of size <= k must be
+// the max over the exact-size profile prefix, with -1 entries mapping
+// to disconnection.
+func TestProfileMixedConsistency(t *testing.T) {
+	g, err := gen.Hypercube(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := routing.ShortestPath(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const f = 2
+	prof := ProfileMixed(r, f, Config{Mode: Exhaustive})
+	if len(prof) != f+1 {
+		t.Fatalf("profile has %d entries, want %d", len(prof), f+1)
+	}
+	if base := MaxDiameterMixed(r, 0, Config{Mode: Exhaustive}); prof[0] != base.MaxDiameter {
+		t.Fatalf("prof[0] = %d, fault-free diameter = %d", prof[0], base.MaxDiameter)
+	}
+	for k := 0; k <= f; k++ {
+		cum := MaxDiameterMixed(r, k, Config{Mode: Exhaustive})
+		disc, worst := false, -1
+		for j := 0; j <= k; j++ {
+			if prof[j] < 0 {
+				disc = true
+			} else if prof[j] > worst {
+				worst = prof[j]
+			}
+		}
+		if disc != cum.Disconnected {
+			t.Fatalf("k=%d: profile prefix disconnection %v, MaxDiameterMixed %v", k, disc, cum.Disconnected)
+		}
+		if !disc && worst != cum.MaxDiameter {
+			t.Fatalf("k=%d: profile prefix max %d, MaxDiameterMixed %d", k, worst, cum.MaxDiameter)
+		}
+	}
+	// The engine path and the legacy SurvivingGraph path must agree: a
+	// MixedSurvivor that hides its routes exercises the latter.
+	legacy := ProfileMixed(noRoutes{r}, f, Config{Mode: Exhaustive})
+	if !reflect.DeepEqual(prof, legacy) {
+		t.Fatalf("engine profile %v, legacy profile %v", prof, legacy)
+	}
+}
+
+// noRoutes wraps a MixedSurvivor, hiding EachRoute so eval falls back
+// to the rebuild-from-scratch path.
+type noRoutes struct{ s MixedSurvivor }
+
+func (n noRoutes) Graph() *graph.Graph { return n.s.Graph() }
+func (n noRoutes) SurvivingGraph(f *graph.Bitset) *graph.Digraph {
+	return n.s.SurvivingGraph(f)
+}
+func (n noRoutes) SurvivingGraphMixed(f *graph.Bitset, e []routing.EdgeFault) *graph.Digraph {
+	return n.s.SurvivingGraphMixed(f, e)
+}
+
+func TestCheckToleranceMixedAgrees(t *testing.T) {
+	g, err := gen.Hypercube(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := routing.ShortestPath(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 2; f >= 1; f-- {
+		base := MaxDiameterMixed(r, f, Config{Mode: Exhaustive})
+		if base.Disconnected {
+			continue
+		}
+		for _, cfg := range []Config{{Mode: Exhaustive}, {Mode: Exhaustive, Pruned: true}} {
+			if err := CheckToleranceMixed(r, base.MaxDiameter, f, cfg); err != nil {
+				t.Fatalf("f=%d cfg %+v: %v", f, cfg, err)
+			}
+			if err := CheckToleranceMixed(r, base.MaxDiameter-1, f, cfg); err == nil {
+				t.Fatalf("f=%d cfg %+v: claimed tolerance below the true worst case", f, cfg)
+			}
+		}
+		return
+	}
+	t.Fatal("Q3 mixed f=1 should not disconnect the surviving route graph")
+}

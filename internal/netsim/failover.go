@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"ftroute/internal/eval"
 	"ftroute/internal/routing"
 )
 
@@ -58,6 +59,14 @@ func (s FailoverStats) String() string {
 // schedule. Each walk segment (the initial walk plus each retry) is
 // charged EndpointCost once plus HopCost per link, and the clock
 // advances by each message's total time.
+//
+// Walks are served from one eval.WalkEngine snapshot per fault epoch:
+// the engine caches every pair's walk and a fault event re-walks only
+// the affected pairs, instead of every message re-walking from scratch.
+// Two cases fall back to the per-walk WalkUnderFaults oracle, with
+// identical results: a fault epoch that cuts a link absent from the
+// graph (the engine's cut universe is g.Edges()), and a retry segment
+// whose (stuck, dst) pair holds no table entries.
 func (nw *Network) RunFailoverWorkload(wl Workload, schedule []FaultEvent, fp FailoverParams) (FailoverStats, error) {
 	if fp.Tables == nil {
 		return FailoverStats{}, fmt.Errorf("netsim: RunFailoverWorkload requires tables")
@@ -75,12 +84,48 @@ func (nw *Network) RunFailoverWorkload(wl Workload, schedule []FaultEvent, fp Fa
 	events := append([]FaultEvent(nil), schedule...)
 	sort.SliceStable(events, func(i, j int) bool { return events[i].AfterMessage < events[j].AfterMessage })
 	rng := newWorkloadRNG(wl)
+	g := nw.r.Graph()
+	// Epoch snapshot: built lazily on the first walk after a fault
+	// event, then shared by every message until the next event.
+	var eng *eval.WalkEngine
+	engFresh, engLegacy := false, false
+	refresh := func() {
+		if engFresh {
+			return
+		}
+		engFresh, engLegacy = true, false
+		links := nw.LinkFaults()
+		for _, e := range links {
+			if !g.HasEdge(e.U, e.V) {
+				// A cut outside g.Edges() is outside the engine's item
+				// universe; this epoch walks through the oracle instead.
+				engLegacy = true
+				return
+			}
+		}
+		if eng == nil {
+			eng = eval.NewWalkEngine(fp.Tables, g)
+		}
+		eng.SetMixedFaults(nw.Faults().Elements(), links)
+	}
+	// walkSeg returns one walk segment's outcome, hops, failover hops
+	// and final node, from the epoch snapshot when it covers the pair.
+	walkSeg := func(at, dst int) (routing.Outcome, int, int, int) {
+		if !engLegacy {
+			if p := eng.PairID(at, dst); p >= 0 {
+				return eng.Outcome(p), eng.WalkHops(p), eng.WalkFailovers(p), eng.WalkStuck(p)
+			}
+		}
+		res := fp.Tables.WalkUnderFaults(at, dst, nw.faultSet())
+		return res.Outcome, res.Hops, res.Failovers, res.Path[len(res.Path)-1]
+	}
 	var stats FailoverStats
 	var latencies []int
 	next := 0
 	for i := 0; i < wl.Messages; i++ {
 		for next < len(events) && events[next].AfterMessage <= i {
 			events[next].apply(nw)
+			engFresh = false
 			next++
 		}
 		src, dst := drawPair(rng, n, wl)
@@ -90,19 +135,19 @@ func (nw *Network) RunFailoverWorkload(wl Workload, schedule []FaultEvent, fp Fa
 			stats.SkippedFault++
 			continue
 		}
+		refresh()
 		hops, segments := 0, 0
 		at := src
 		outcome := routing.Delivered
 		for {
-			res := fp.Tables.WalkUnderFaults(at, dst, faults)
+			out, segHops, segFails, stuck := walkSeg(at, dst)
 			segments++
-			hops += res.Hops
-			stats.Failovers += res.Failovers
-			outcome = res.Outcome
-			if res.Outcome == routing.Delivered {
+			hops += segHops
+			stats.Failovers += segFails
+			outcome = out
+			if out == routing.Delivered {
 				break
 			}
-			stuck := res.Path[len(res.Path)-1]
 			// Give up when out of retries or the walk made no progress
 			// (restarting from the same node would repeat it verbatim).
 			if segments > fp.Retries || stuck == at {

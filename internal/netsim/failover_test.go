@@ -234,3 +234,104 @@ func TestBroadcastSeesLinkFaults(t *testing.T) {
 		}
 	}
 }
+
+// TestRunFailoverWorkloadEngineMatchesOracle differentials the epoch
+// snapshot path against the per-walk WalkUnderFaults oracle: cutting a
+// link that is not a graph edge is a no-op for every walk (table hops
+// are graph edges) but forces whole epochs onto the oracle path, so a
+// run with that sentinel in the schedule must produce identical stats.
+func TestRunFailoverWorkloadEngineMatchesOracle(t *testing.T) {
+	r := buildAllPairs(t)
+	g := r.Graph()
+	mr, err := routing.Reinforce(r, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := routing.CompileFailover(mr)
+	sentinel := [2]int{-1, -1}
+	for u := 0; u < g.N() && sentinel[0] < 0; u++ {
+		for v := u + 1; v < g.N(); v++ {
+			if !g.HasEdge(u, v) {
+				sentinel = [2]int{u, v}
+				break
+			}
+		}
+	}
+	if sentinel[0] < 0 {
+		t.Fatal("no non-edge pair in CCC(3)")
+	}
+	schedule := []FaultEvent{
+		{AfterMessage: 5, Link: true, U: 0, V: 1},
+		{AfterMessage: 20, Node: 7},
+		{AfterMessage: 60, Link: true, U: 0, V: 1, Repair: true},
+		{AfterMessage: 80, Node: 7, Repair: true},
+		{AfterMessage: 90, Link: true, U: 2, V: 10},
+	}
+	if g.HasEdge(2, 10) {
+		t.Fatal("schedule link {2,10} unexpectedly a graph edge")
+	}
+	wl := Workload{Messages: 150, Seed: 11, HotspotFraction: 0.5, Hotspot: 3}
+	fp := FailoverParams{Tables: ft, Retries: 2}
+	engine, err := New(r, Params{}).RunFailoverWorkload(wl, schedule, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forced := append([]FaultEvent{{AfterMessage: 0, Link: true, U: sentinel[0], V: sentinel[1]}}, schedule...)
+	oracle, err := New(r, Params{}).RunFailoverWorkload(wl, forced, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if engine != oracle {
+		t.Fatalf("engine path %+v, oracle path %+v", engine, oracle)
+	}
+	if engine.Failovers == 0 {
+		t.Fatalf("reinforced tables under cuts should fail over: %+v", engine)
+	}
+	if engine.Delivered == 0 || engine.SkippedFault == 0 {
+		t.Fatalf("schedule should mix outcomes: %+v", engine)
+	}
+}
+
+// TestRunFailoverWorkloadPartialTables pins the retry fallback for
+// pairs without table entries: the chord-square routing minus the
+// (1,2) route makes retries restart at node 1 toward 2, a pair the
+// tables do not cover, which the snapshot path must route through the
+// oracle — again checked via the sentinel-cut equivalence.
+func TestRunFailoverWorkloadPartialTables(t *testing.T) {
+	g := graphpkg()
+	r := routing.New(g)
+	for _, p := range []routing.Path{
+		{0, 1}, {1, 0},
+		{0, 1, 2}, {2, 3, 0},
+		{0, 3}, {3, 0},
+		{2, 1},
+		{1, 3}, {3, 1},
+		{2, 3}, {3, 2},
+	} {
+		if err := r.Set(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ft := routing.FailoverFromRouting(r)
+	schedule := []FaultEvent{{AfterMessage: 0, Link: true, U: 1, V: 2}}
+	wl := Workload{Messages: 120, Seed: 3, HotspotFraction: 0.9, Hotspot: 2}
+	fp := FailoverParams{Tables: ft, Retries: 2}
+	engine, err := New(r, Params{}).RunFailoverWorkload(wl, schedule, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forced := append([]FaultEvent{{AfterMessage: 0, Link: true, U: 0, V: 2}}, schedule...)
+	if g.HasEdge(0, 2) {
+		t.Fatal("sentinel {0,2} unexpectedly a graph edge")
+	}
+	oracle, err := New(r, Params{}).RunFailoverWorkload(wl, forced, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if engine != oracle {
+		t.Fatalf("engine path %+v, oracle path %+v", engine, oracle)
+	}
+	if engine.Blackhole == 0 {
+		t.Fatalf("uncovered retry pair should blackhole: %+v", engine)
+	}
+}

@@ -1,0 +1,167 @@
+package sym
+
+import (
+	"sort"
+
+	"ftroute/internal/routing"
+)
+
+// Orbit pruning is only sound when the evaluated object commutes with
+// the group: the objective must be constant on each fault-set orbit.
+// The checks here test strict equivariance — route sets must map onto
+// route sets pair by pair, failover tables entry by entry with backup
+// ranks preserved — against a snapshot built once so that testing many
+// group elements stays cheap.
+
+// RouteEnumerator is the slice of eval's RouteSource that symmetry
+// checks need: enumerate every fixed route. *routing.Routing and
+// *routing.MultiRouting both satisfy it.
+type RouteEnumerator interface {
+	EachRoute(fn func(u, v int, p routing.Path))
+}
+
+// RoutingCheck pre-indexes a route set for repeated Respects queries.
+type RoutingCheck struct {
+	pairs [][2]int32
+	paths map[int64][][]int32 // packed (u,v) → that pair's routes
+}
+
+// NewRoutingCheck snapshots the routes of src.
+func NewRoutingCheck(src RouteEnumerator) *RoutingCheck {
+	c := &RoutingCheck{paths: make(map[int64][][]int32)}
+	src.EachRoute(func(u, v int, p routing.Path) {
+		k := pairPack(u, v)
+		if len(c.paths[k]) == 0 {
+			c.pairs = append(c.pairs, [2]int32{int32(u), int32(v)})
+		}
+		enc := make([]int32, len(p))
+		for i, x := range p {
+			enc[i] = int32(x)
+		}
+		c.paths[k] = append(c.paths[k], enc)
+	})
+	sort.Slice(c.pairs, func(i, j int) bool {
+		if c.pairs[i][0] != c.pairs[j][0] {
+			return c.pairs[i][0] < c.pairs[j][0]
+		}
+		return c.pairs[i][1] < c.pairs[j][1]
+	})
+	return c
+}
+
+func pairPack(u, v int) int64 { return int64(u)<<32 | int64(v) }
+
+// Respects reports whether node permutation p maps the route set onto
+// itself: for every routed pair (u,v), the p-image of its route
+// multiset is exactly the route multiset of (p(u), p(v)). That makes
+// every route-derived objective (surviving route graph, diameters)
+// constant on fault-set orbits under p.
+func (c *RoutingCheck) Respects(p []int) bool {
+	var mapped []int32
+	for _, pr := range c.pairs {
+		list := c.paths[pairPack(int(pr[0]), int(pr[1]))]
+		target := c.paths[pairPack(p[pr[0]], p[pr[1]])]
+		if len(target) != len(list) {
+			return false
+		}
+		for _, path := range list {
+			mapped = mapped[:0]
+			for _, x := range path {
+				mapped = append(mapped, int32(p[x]))
+			}
+			if countPath(list, path) != countPath(target, mapped) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func countPath(list [][]int32, path []int32) int {
+	count := 0
+	for _, q := range list {
+		if int32sEqual(q, path) {
+			count++
+		}
+	}
+	return count
+}
+
+func int32sEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// RoutingRespects is a one-shot NewRoutingCheck + Respects.
+func RoutingRespects(src RouteEnumerator, p []int) bool {
+	return NewRoutingCheck(src).Respects(p)
+}
+
+// TablesCheck pre-indexes failover-table entries for repeated Respects
+// queries.
+type TablesCheck struct {
+	entries []tableEntry
+	id      map[uint64]int32 // packed (at,src,dst) → entry index
+}
+
+type tableEntry struct {
+	at, src, dst int32
+	ranked       []int32
+}
+
+// NewTablesCheck snapshots the ranked entries of t.
+func NewTablesCheck(t *routing.FailoverTables) *TablesCheck {
+	c := &TablesCheck{id: make(map[uint64]int32)}
+	t.EachEntry(func(at, src, dst int, ranked []int32) {
+		c.id[triplePack(at, src, dst)] = int32(len(c.entries))
+		c.entries = append(c.entries, tableEntry{
+			at: int32(at), src: int32(src), dst: int32(dst),
+			ranked: append([]int32(nil), ranked...),
+		})
+	})
+	return c
+}
+
+func triplePack(at, src, dst int) uint64 {
+	return uint64(at)<<42 | uint64(src)<<21 | uint64(dst)
+}
+
+// Respects reports whether node permutation p maps the tables onto
+// themselves rank for rank: entry (at,src,dst) with ranked hops
+// h_0..h_k maps to an entry (p(at),p(src),p(dst)) with ranked hops
+// p(h_0)..p(h_k). Rank order matters — a failover walk takes the first
+// live entry — so this is exactly the condition making walk outcomes
+// constant on fault-set orbits under p.
+func (c *TablesCheck) Respects(p []int) bool {
+	for i := range c.entries {
+		e := &c.entries[i]
+		j, ok := c.id[triplePack(p[e.at], p[e.src], p[e.dst])]
+		if !ok {
+			return false
+		}
+		target := c.entries[j].ranked
+		if len(target) != len(e.ranked) {
+			return false
+		}
+		for k, h := range e.ranked {
+			if target[k] != int32(p[h]) {
+				return false
+			}
+		}
+	}
+	// p permutes triples, every source entry found a distinct image
+	// entry, and the entry count is fixed — so the image is onto.
+	return true
+}
+
+// TablesRespect is a one-shot NewTablesCheck + Respects.
+func TablesRespect(t *routing.FailoverTables, p []int) bool {
+	return NewTablesCheck(t).Respects(p)
+}
