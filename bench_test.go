@@ -701,3 +701,183 @@ func BenchmarkE19Failover(b *testing.B) { benchExperiment(b, "E19") }
 
 // BenchmarkE20Symmetry regenerates E20 (orbit-pruned enumeration).
 func BenchmarkE20Symmetry(b *testing.B) { benchExperiment(b, "E20") }
+
+// BenchmarkE21Bounded regenerates E21 (branch-and-bound search).
+func BenchmarkE21Bounded(b *testing.B) { benchExperiment(b, "E21") }
+
+// --- Thousand-node anchors (branch-and-bound search, docs/perf.md) ---
+//
+// The large anchors scale the exhaustive adversary past the 64-node
+// CCC(4) instance: CCC(7) has 896 nodes and Q10 has 1024, so a single
+// f=1 sweep runs ~900 incremental fault sets over ~13k-arc route
+// graphs. The Bounded variants must stay bit-identical to the plain
+// engine search (pinned by internal/eval's differential tests); CI
+// gates the Bounded/plain ns ratio so the branch-and-bound speedup
+// cannot silently rot. Run these with -benchtime 1x: one iteration is
+// a full exhaustive sweep.
+
+// ccc7Circular builds the 896-node anchor instance.
+func ccc7Circular(b *testing.B) *Routing {
+	b.Helper()
+	g, err := CCC(7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, _, err := Circular(g, Options{Tolerance: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// q10Circular builds the 1024-node anchor instance.
+func q10Circular(b *testing.B) *Routing {
+	b.Helper()
+	g, err := Hypercube(10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, _, err := Circular(g, Options{Tolerance: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// BenchmarkExhaustiveEngineCCC7F1 is the plain-engine baseline on the
+// 896-node anchor: one full BFS diameter per fault set.
+func BenchmarkExhaustiveEngineCCC7F1(b *testing.B) {
+	r := ccc7Circular(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := eval.MaxDiameter(r, 1, eval.Config{Mode: eval.Exhaustive})
+		if res.Evaluated != 897 {
+			b.Fatalf("evaluated %d", res.Evaluated)
+		}
+	}
+}
+
+// BenchmarkExhaustiveBoundedCCC7F1 is the branch-and-bound search on
+// the same instance: multi-pivot diameterAbove against the incumbent.
+func BenchmarkExhaustiveBoundedCCC7F1(b *testing.B) {
+	r := ccc7Circular(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := eval.MaxDiameter(r, 1, eval.Config{Mode: eval.Exhaustive, Bounded: true})
+		if res.Evaluated != 897 {
+			b.Fatalf("evaluated %d", res.Evaluated)
+		}
+	}
+}
+
+// BenchmarkExhaustiveBoundedParallelCCC7F1 adds work-stealing engine
+// clones sharing the branch-and-bound incumbent atomically. CI gates
+// this against BenchmarkExhaustiveEngineCCC7F1.
+func BenchmarkExhaustiveBoundedParallelCCC7F1(b *testing.B) {
+	r := ccc7Circular(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := eval.MaxDiameterParallel(r, 1, eval.Config{Mode: eval.Exhaustive, Bounded: true}, 0)
+		if res.Evaluated != 897 {
+			b.Fatalf("evaluated %d", res.Evaluated)
+		}
+	}
+}
+
+// BenchmarkExhaustiveBoundedQ10F1 is the branch-and-bound search on
+// the 1024-node hypercube anchor.
+func BenchmarkExhaustiveBoundedQ10F1(b *testing.B) {
+	r := q10Circular(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := eval.MaxDiameter(r, 1, eval.Config{Mode: eval.Exhaustive, Bounded: true})
+		if res.Evaluated != 1025 {
+			b.Fatalf("evaluated %d", res.Evaluated)
+		}
+	}
+}
+
+// edgeSource adapts a bare graph to eval.RouteSource with one
+// single-edge route per arc, so R(G,ρ)/F is G−F itself. It is how the
+// BFS/diameter kernels are exercised at node counts where a full n²
+// routing would not fit in memory (RandomRegularConnected(5000,3) has
+// 25M ordered pairs).
+type edgeSource struct{ g *Graph }
+
+func (s edgeSource) Graph() *Graph { return s.g }
+
+func (s edgeSource) SurvivingGraph(f *graph.Bitset) *graph.Digraph {
+	d := graph.NewDigraph(s.g.N())
+	for v := 0; v < s.g.N(); v++ {
+		if f.Has(v) {
+			d.Disable(v)
+		}
+	}
+	for _, e := range s.g.Edges() {
+		if f.Has(e[0]) || f.Has(e[1]) {
+			continue
+		}
+		d.AddArc(e[0], e[1])
+		d.AddArc(e[1], e[0])
+	}
+	return d
+}
+
+func (s edgeSource) EachRoute(fn func(u, v int, p Path)) {
+	for _, e := range s.g.Edges() {
+		fn(e[0], e[1], Path{e[0], e[1]})
+		fn(e[1], e[0], Path{e[1], e[0]})
+	}
+}
+
+// rr5000Engine compiles the 5000-node sparse anchor.
+func rr5000Engine(b *testing.B) *eval.Engine {
+	b.Helper()
+	g, _, err := RandomRegularConnected(5000, 3, 11, 50)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eval.NewEngine(edgeSource{g: g})
+}
+
+// BenchmarkEngineCompileRR5000 measures compiling the 5000-node
+// adapter (15k routes) into bitrows and CSR indexes.
+func BenchmarkEngineCompileRR5000(b *testing.B) {
+	g, _, err := RandomRegularConnected(5000, 3, 11, 50)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if eng := eval.NewEngine(edgeSource{g: g}); eng.AliveCount() != 5000 {
+			b.Fatal("bad engine")
+		}
+	}
+}
+
+// BenchmarkEngineDiameterRR5000 is the serial word-parallel diameter
+// on the 5000-node sparse graph: 5000 BFS over 79-word bitrows.
+func BenchmarkEngineDiameterRR5000(b *testing.B) {
+	eng := rr5000Engine(b)
+	eng.SetFaults(FaultsOf(5000, 3, 40, 4096))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := eng.Diameter(); !ok {
+			b.Fatal("disconnected")
+		}
+	}
+}
+
+// BenchmarkEngineDiameterParallelRR5000 is the intra-diameter parallel
+// path: a worker pool steals sources, sharing pooled BFS scratch and an
+// atomic running maximum.
+func BenchmarkEngineDiameterParallelRR5000(b *testing.B) {
+	eng := rr5000Engine(b)
+	eng.SetFaults(FaultsOf(5000, 3, 40, 4096))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := eng.DiameterParallel(0); !ok {
+			b.Fatal("disconnected")
+		}
+	}
+}

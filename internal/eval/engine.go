@@ -2,6 +2,9 @@ package eval
 
 import (
 	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"ftroute/internal/graph"
 	"ftroute/internal/routing"
@@ -72,13 +75,59 @@ type Engine struct {
 	deadRoutes      []int32 // pair id -> routes with hits > 0
 	deadRoutesTotal int     // routes with hits > 0, across all pairs
 	adj             []uint64
+	adjT            []uint64 // transposed bitrows: bit u of row v set iff arc u→v survives
+	alive           []uint64 // bitrow of nonfaulty nodes
 	faults          *graph.Bitset
 	efaults         *graph.Bitset // faulty edge ids
 	aliveCount      int
+	alivePairs      int // routed ordered pairs whose arc currently survives
 
 	// BFS scratch, reused across calls.
-	visited, cur, next, mask []uint64
+	bfs  *bfsScratch
+	mask []uint64
+	din  []int32       // pivot distances for diameterAbove, lazily sized
+	pool []*bfsScratch // per-worker scratch for DiameterParallel, lazily grown
 }
+
+// bfsScratch is one worker's reusable frontier state for the
+// word-parallel BFS kernels. Pooling these (instead of cloning whole
+// engines) is what makes the per-source parallel diameter cheap: the
+// compiled arrays and the live bitrows are shared read-only, and each
+// worker carries only 3×⌈n/64⌉ words plus the decoded frontier list.
+type bfsScratch struct {
+	visited, cur, next []uint64
+	frontier           []int32 // decoded frontier nodes for the tiled kernel
+}
+
+func newBFSScratch(words int) *bfsScratch {
+	return &bfsScratch{
+		visited: make([]uint64, words),
+		cur:     make([]uint64, words),
+		next:    make([]uint64, words),
+	}
+}
+
+// blockedBFSWords gates the cache-blocked (column-tiled) frontier
+// expansion: rows of at least this many words stream through the tiled
+// kernel, everything smaller uses the flat kernel. At the default the
+// switch happens near n = 64·1024 nodes — below that the whole
+// next/visited frontier fits comfortably in L1/L2 and tiling only adds
+// bookkeeping. Tests override the variable to force the tiled path on
+// small graphs.
+const blockedBFSWordsDefault = 1024
+
+var blockedBFSWords = blockedBFSWordsDefault
+
+// bfsTileWords is the column-tile width of the blocked kernel: each
+// tile of the destination frontier (bfsTileWords×8 bytes) stays
+// resident while every frontier row's matching slice streams over it.
+const bfsTileWords = 512
+
+// diamExtraPivots is the number of extra high-in-degree pivots the
+// branch-and-bound diameter kernel adds to the first-alive pivot. Each
+// costs 2 BFS per call; in exchange a hub pivot with small
+// out-eccentricity certifies a skip for every one of its in-neighbors.
+const diamExtraPivots = 4
 
 // NewEngine compiles src into an incremental evaluation engine with an
 // empty fault set.
@@ -91,11 +140,10 @@ func NewEngine(src RouteSource) *Engine {
 		words:      words,
 		idxOff:     make([]int32, n+1),
 		adj:        make([]uint64, n*words),
+		adjT:       make([]uint64, n*words),
 		faults:     graph.NewBitset(n),
 		aliveCount: n,
-		visited:    make([]uint64, words),
-		cur:        make([]uint64, words),
-		next:       make([]uint64, words),
+		bfs:        newBFSScratch(words),
 		mask:       make([]uint64, words),
 	}
 	edges := g.Edges()
@@ -128,6 +176,7 @@ func NewEngine(src RouteSource) *Engine {
 			e.pairV = append(e.pairV, int32(v))
 			e.pairRoutes = append(e.pairRoutes, 0)
 			e.adj[u*words+v>>6] |= 1 << (uint(v) & 63)
+			e.adjT[v*words+u>>6] |= 1 << (uint(u) & 63)
 		}
 		e.pairRoutes[id]++
 		e.routePair = append(e.routePair, id)
@@ -167,6 +216,11 @@ func NewEngine(src RouteSource) *Engine {
 	}
 	e.hits = make([]int32, len(e.routePair))
 	e.deadRoutes = make([]int32, len(e.pairU))
+	e.alivePairs = len(e.pairU)
+	e.alive = make([]uint64, words)
+	for v := 0; v < n; v++ {
+		e.alive[v>>6] |= 1 << (uint(v) & 63)
+	}
 	return e
 }
 
@@ -189,12 +243,14 @@ func (e *Engine) Clone() *Engine {
 	c.hits = append([]int32(nil), e.hits...)
 	c.deadRoutes = append([]int32(nil), e.deadRoutes...)
 	c.adj = append([]uint64(nil), e.adj...)
+	c.adjT = append([]uint64(nil), e.adjT...)
+	c.alive = append([]uint64(nil), e.alive...)
 	c.faults = e.faults.Clone()
 	c.efaults = e.efaults.Clone()
-	c.visited = make([]uint64, e.words)
-	c.cur = make([]uint64, e.words)
-	c.next = make([]uint64, e.words)
+	c.bfs = newBFSScratch(e.words)
 	c.mask = make([]uint64, e.words)
+	c.din = nil
+	c.pool = nil
 	return &c
 }
 
@@ -221,6 +277,8 @@ func (e *Engine) hitRoute(r int32) {
 		if e.deadRoutes[p] == e.pairRoutes[p] {
 			u, w := e.pairU[p], e.pairV[p]
 			e.adj[int(u)*e.words+int(w)>>6] &^= 1 << (uint(w) & 63)
+			e.adjT[int(w)*e.words+int(u)>>6] &^= 1 << (uint(u) & 63)
+			e.alivePairs--
 		}
 	}
 }
@@ -236,6 +294,8 @@ func (e *Engine) unhitRoute(r int32) {
 		if e.deadRoutes[p] == e.pairRoutes[p]-1 {
 			u, w := e.pairU[p], e.pairV[p]
 			e.adj[int(u)*e.words+int(w)>>6] |= 1 << (uint(w) & 63)
+			e.adjT[int(w)*e.words+int(u)>>6] |= 1 << (uint(u) & 63)
+			e.alivePairs++
 		}
 	}
 }
@@ -250,6 +310,7 @@ func (e *Engine) AddFault(v int) {
 	}
 	e.faults.Add(v)
 	e.aliveCount--
+	e.alive[v>>6] &^= 1 << (uint(v) & 63)
 	for _, r := range e.idxRoutes[e.idxOff[v]:e.idxOff[v+1]] {
 		e.hitRoute(r)
 	}
@@ -263,6 +324,7 @@ func (e *Engine) RemoveFault(v int) {
 	}
 	e.faults.Remove(v)
 	e.aliveCount++
+	e.alive[v>>6] |= 1 << (uint(v) & 63)
 	for _, r := range e.idxRoutes[e.idxOff[v]:e.idxOff[v+1]] {
 		e.unhitRoute(r)
 	}
@@ -399,8 +461,15 @@ func (e *Engine) eccentricity(src, bound int) (int, bool) {
 // reached nor expanded, so they cannot serve as relays, and target is
 // the number of mask-allowed alive nodes that must be covered.
 func (e *Engine) eccentricityMasked(src, bound int, mask []uint64, target int) (int, bool) {
-	words := e.words
-	visited, cur, next := e.visited, e.cur, e.next
+	return e.eccentricityOn(e.adj, src, bound, mask, target, e.bfs)
+}
+
+// eccentricityOn is the BFS kernel underneath every diameter path: it
+// runs over the given bitrows (e.adj forward, e.adjT for reverse
+// distances) using the caller's scratch, so source-parallel diameter
+// workers can share the read-only rows with one bfsScratch each.
+func (e *Engine) eccentricityOn(rows []uint64, src, bound int, mask []uint64, target int, s *bfsScratch) (int, bool) {
+	visited, cur, next := s.visited, s.cur, s.next
 	for i := range visited {
 		visited[i] = 0
 		cur[i] = 0
@@ -413,21 +482,7 @@ func (e *Engine) eccentricityMasked(src, bound int, mask []uint64, target int) (
 		if bound >= 0 && ecc == bound {
 			return 0, false
 		}
-		for i := range next {
-			next[i] = 0
-		}
-		for wi := 0; wi < words; wi++ {
-			w := cur[wi]
-			base := wi << 6
-			for w != 0 {
-				u := base | bits.TrailingZeros64(w)
-				w &= w - 1
-				row := e.adj[u*words : (u+1)*words]
-				for i, rw := range row {
-					next[i] |= rw
-				}
-			}
-		}
+		e.expandFrontier(rows, cur, next, s)
 		fresh := 0
 		for i := range next {
 			nw := next[i] &^ visited[i]
@@ -446,6 +501,64 @@ func (e *Engine) eccentricityMasked(src, bound int, mask []uint64, target int) (
 		cur, next = next, cur
 	}
 	return ecc, true
+}
+
+// expandFrontier ORs the rows of every frontier node into next
+// (clearing it first). Small graphs take the flat kernel; once rows
+// reach blockedBFSWords the column-tiled kernel streams them through
+// cache instead.
+func (e *Engine) expandFrontier(rows, cur, next []uint64, s *bfsScratch) {
+	words := e.words
+	for i := range next {
+		next[i] = 0
+	}
+	if words >= blockedBFSWords {
+		e.expandFrontierTiled(rows, cur, next, s)
+		return
+	}
+	for wi := 0; wi < words; wi++ {
+		w := cur[wi]
+		base := wi << 6
+		for w != 0 {
+			u := base | bits.TrailingZeros64(w)
+			w &= w - 1
+			row := rows[u*words : (u+1)*words]
+			for i, rw := range row {
+				next[i] |= rw
+			}
+		}
+	}
+}
+
+// expandFrontierTiled is the cache-blocked frontier expansion: the
+// frontier is decoded once into a node list, then each column tile of
+// next stays resident while the matching slice of every frontier row
+// streams over it — instead of each full-width row evicting the
+// accumulator on big n.
+func (e *Engine) expandFrontierTiled(rows, cur, next []uint64, s *bfsScratch) {
+	words := e.words
+	s.frontier = s.frontier[:0]
+	for wi := 0; wi < words; wi++ {
+		w := cur[wi]
+		base := wi << 6
+		for w != 0 {
+			s.frontier = append(s.frontier, int32(base|bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+	for t := 0; t < words; t += bfsTileWords {
+		hi := t + bfsTileWords
+		if hi > words {
+			hi = words
+		}
+		dst := next[t:hi]
+		for _, u := range s.frontier {
+			row := rows[int(u)*words+t : int(u)*words+hi]
+			for i, rw := range row {
+				dst[i] |= rw
+			}
+		}
+	}
 }
 
 // Diameter returns the directed diameter of the current surviving route
@@ -467,6 +580,325 @@ func (e *Engine) Diameter() (int, bool) {
 		}
 	}
 	return diam, true
+}
+
+// reverseDistances runs a word-parallel BFS toward dst over the
+// transposed bitrows, writing d(v, dst) into din (-1 for faulty or
+// unreachable nodes) and returning the number of alive nodes reached,
+// dst included. Because arcs incident to faulty nodes are dead in both
+// bitrow sets, only alive nodes are ever reached.
+func (e *Engine) reverseDistances(dst int, din []int32) int {
+	for i := 0; i < e.n; i++ {
+		din[i] = -1
+	}
+	s := e.bfs
+	visited, cur, next := s.visited, s.cur, s.next
+	for i := range visited {
+		visited[i] = 0
+		cur[i] = 0
+	}
+	visited[dst>>6] = 1 << (uint(dst) & 63)
+	cur[dst>>6] = visited[dst>>6]
+	din[dst] = 0
+	covered := 1
+	for level := int32(1); ; level++ {
+		e.expandFrontier(e.adjT, cur, next, s)
+		fresh := 0
+		for i := range next {
+			nw := next[i] &^ visited[i]
+			next[i] = nw
+			visited[i] |= nw
+			base := i << 6
+			for w := nw; w != 0; w &= w - 1 {
+				din[base|bits.TrailingZeros64(w)] = level
+				fresh++
+			}
+		}
+		if fresh == 0 {
+			return covered
+		}
+		covered += fresh
+		cur, next = next, cur
+	}
+}
+
+// firstAlive returns the smallest nonfaulty node, or -1 if none.
+func (e *Engine) firstAlive() int {
+	for v := 0; v < e.n; v++ {
+		if !e.faults.Has(v) {
+			return v
+		}
+	}
+	return -1
+}
+
+// diameterAbove is the branch-and-bound diameter kernel: it decides
+// whether the surviving diameter exceeds bound, reporting
+// (diam, above, connected). When above is true, diam is the exact
+// diameter; when above is false the diameter is only known to be at
+// most bound and diam is unspecified. connected false matches
+// Diameter()'s (0, false) exactly.
+//
+// Instead of one BFS per source, it works through a handful of pivots:
+// the first alive node u plus up to diamExtraPivots alive nodes of
+// maximal in-degree. Each pivot p gets a forward BFS (exact eccOut(p))
+// and a reverse BFS over the transposed bitrows (every node's distance
+// to p). Disconnection detection is exact — every alive pair connects
+// through u iff u's two BFS cover all alive nodes. Any other source v
+// has ecc(v) ≤ min_p(d(v,p) + eccOut(p)) by the triangle inequality,
+// so sources whose upper bound cannot beat max(bound, runningMax) are
+// skipped without a BFS; the rest get exact eccentricities. A skipped
+// source can never hold a value above the returned maximum, which
+// keeps the exact-when-above contract.
+//
+// High-in-degree pivots are what make this effective on the paper
+// constructions: their route graphs are hub-and-spoke (a hub with
+// in-degree k and out-eccentricity 2 certifies ecc ≤ 3 for all k of
+// its in-neighbors at once), so once the enumeration's incumbent
+// reaches hubEcc+1, nearly every source is skipped and a fault set
+// costs ~2·(1+diamExtraPivots) BFS instead of n.
+//
+// The caller must ensure at least one alive node exists.
+//
+// On dense surviving graphs — route graphs of total routings are
+// complete digraphs minus the arcs the faults killed — the triangle
+// bound cannot prune (every eccentricity ties the tiny diameter), so
+// the kernel dispatches to the complement-scan variant whenever at
+// least 7/8 of the alive ordered pairs still carry an arc.
+func (e *Engine) diameterAbove(bound int) (int, bool, bool) {
+	if a := e.aliveCount; a > 2 {
+		if dead := a*(a-1) - e.alivePairs; dead >= 0 && dead*8 <= a*(a-1) {
+			return e.diameterAboveDense(bound)
+		}
+	}
+	u := e.firstAlive()
+	eccOut, ok := e.eccentricity(u, -1)
+	if !ok {
+		return 0, false, false
+	}
+	if len(e.din) < e.n*(1+diamExtraPivots) {
+		e.din = make([]int32, e.n*(1+diamExtraPivots))
+	}
+	din := e.din[:e.n]
+	if e.reverseDistances(u, din) < e.aliveCount {
+		return 0, false, false
+	}
+	worst := eccOut
+
+	// Hub pivots: alive nodes of maximal in-degree, excluding u. The
+	// graph is connected from here on, so their BFS always cover.
+	var hubs [diamExtraPivots]int
+	var hubEcc [diamExtraPivots]int
+	var hubDin [diamExtraPivots][]int32
+	var hubDeg [diamExtraPivots]int
+	nHubs := 0
+	for i, aw := range e.alive {
+		base := i << 6
+		for w := aw; w != 0; w &= w - 1 {
+			v := base | bits.TrailingZeros64(w)
+			if v == u {
+				continue
+			}
+			deg := 0
+			for _, tw := range e.adjT[v*e.words : (v+1)*e.words] {
+				deg += bits.OnesCount64(tw)
+			}
+			j := nHubs
+			if j < diamExtraPivots {
+				nHubs++
+			} else if deg <= hubDeg[j-1] {
+				continue
+			} else {
+				j--
+			}
+			for ; j > 0 && deg > hubDeg[j-1]; j-- {
+				hubs[j], hubEcc[j], hubDeg[j] = hubs[j-1], hubEcc[j-1], hubDeg[j-1]
+			}
+			hubs[j], hubDeg[j] = v, deg
+		}
+	}
+	for h := 0; h < nHubs; h++ {
+		ecc, ok := e.eccentricity(hubs[h], -1)
+		if !ok {
+			return 0, false, false
+		}
+		hubEcc[h] = ecc
+		if ecc > worst {
+			worst = ecc
+		}
+		hubDin[h] = e.din[(1+h)*e.n : (2+h)*e.n]
+		e.reverseDistances(hubs[h], hubDin[h])
+	}
+
+	for v := 0; v < e.n; v++ {
+		if v == u || e.faults.Has(v) {
+			continue
+		}
+		limit := worst
+		if bound > limit {
+			limit = bound
+		}
+		ub := int(din[v]) + eccOut
+		for h := 0; h < nHubs && ub > limit; h++ {
+			if v == hubs[h] {
+				ub = hubEcc[h] // already exact, counted above
+				break
+			}
+			if d := hubDin[h][v]; d >= 0 && int(d)+hubEcc[h] < ub {
+				ub = int(d) + hubEcc[h]
+			}
+		}
+		if ub <= limit {
+			continue
+		}
+		ecc, ok := e.eccentricity(v, -1)
+		if !ok {
+			return 0, false, false
+		}
+		if ecc > worst {
+			worst = ecc
+		}
+	}
+	if worst > bound {
+		return worst, true, true
+	}
+	return 0, false, true
+}
+
+// diameterAboveDense is the complement-scan diameter kernel for dense
+// surviving graphs, with the same contract as diameterAbove. When
+// nearly every alive ordered pair still carries an arc, the diameter is
+// determined by the few dead pairs: an alive arc contributes distance
+// 1, and a dead pair (s, t) has distance 2 iff s's out-row intersects
+// t's in-row (a surviving common intermediate). The kernel enumerates
+// only the dead pairs — which the incremental engine gets for free as
+// the complement of the live bitrows — certifying each at distance 2
+// with a short word-AND instead of a BFS. A source with a farther
+// target falls back to one exact BFS, which also settles
+// disconnection; sources whose dead targets all sit at distance 2
+// prove their own coverage. The result is always the exact diameter
+// (bound only shapes the verdict), so bit-identity with Diameter() is
+// structural. Cost is O(deadArcs·words) instead of n BFS — on the
+// CCC(7) circular anchor under one fault that is ~12k word-scans
+// against 896 full BFS.
+func (e *Engine) diameterAboveDense(bound int) (int, bool, bool) {
+	words := e.words
+	worst := 0
+	for i, aw := range e.alive {
+		base := i << 6
+		for w := aw; w != 0; w &= w - 1 {
+			s := base | bits.TrailingZeros64(w)
+			row := e.adj[s*words : (s+1)*words]
+			ecc := 1
+		targets:
+			for j, av := range e.alive {
+				dw := av &^ row[j]
+				if j == s>>6 {
+					dw &^= 1 << (uint(s) & 63)
+				}
+				for ; dw != 0; dw &= dw - 1 {
+					t := j<<6 | bits.TrailingZeros64(dw)
+					trow := e.adjT[t*words : (t+1)*words]
+					hop := false
+					for k := range row {
+						if row[k]&trow[k] != 0 {
+							hop = true
+							break
+						}
+					}
+					if !hop {
+						full, ok := e.eccentricity(s, -1)
+						if !ok {
+							return 0, false, false
+						}
+						ecc = full
+						break targets
+					}
+					ecc = 2
+				}
+			}
+			if ecc > worst {
+				worst = ecc
+			}
+		}
+	}
+	if worst > bound {
+		return worst, true, true
+	}
+	return 0, false, true
+}
+
+// DiameterParallel is Diameter with the per-source BFS loop spread over
+// worker goroutines. The pivot pruning of diameterAbove applies first —
+// two BFS fix the pivot's eccentricity and every node's distance to it —
+// and the surviving sources are stolen from a shared counter by workers
+// that share the read-only bitrows, pooled per-worker frontier scratch,
+// and an atomic running maximum feeding the skip test. The result is
+// deterministic and equal to Diameter(): the maximum is order-
+// independent and skipped sources are provably below it. workers <= 0
+// uses GOMAXPROCS.
+func (e *Engine) DiameterParallel(workers int) (int, bool) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if e.aliveCount <= 1 {
+		return e.Diameter()
+	}
+	if workers == 1 {
+		d, _, conn := e.diameterAbove(-1)
+		if !conn {
+			return 0, false
+		}
+		return d, true
+	}
+	u := e.firstAlive()
+	eccOut, ok := e.eccentricity(u, -1)
+	if !ok {
+		return 0, false
+	}
+	if len(e.din) < e.n {
+		e.din = make([]int32, e.n)
+	}
+	if e.reverseDistances(u, e.din[:e.n]) < e.aliveCount {
+		return 0, false
+	}
+	for len(e.pool) < workers {
+		e.pool = append(e.pool, newBFSScratch(e.words))
+	}
+	var maxEcc atomic.Int64
+	maxEcc.Store(int64(eccOut))
+	var disc atomic.Bool
+	var nextSrc atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(s *bfsScratch) {
+			defer wg.Done()
+			for {
+				v := int(nextSrc.Add(1)) - 1
+				if v >= e.n || disc.Load() {
+					return
+				}
+				if v == u || e.faults.Has(v) {
+					continue
+				}
+				if int(e.din[v])+eccOut <= int(maxEcc.Load()) {
+					continue
+				}
+				ecc, ok := e.eccentricityOn(e.adj, v, -1, nil, e.aliveCount, s)
+				if !ok {
+					disc.Store(true)
+					return
+				}
+				casMax(&maxEcc, int64(ecc))
+			}
+		}(e.pool[w])
+	}
+	wg.Wait()
+	if disc.Load() {
+		return 0, false
+	}
+	return int(maxEcc.Load()), true
 }
 
 // DiameterExcluding returns the diameter of the current surviving route
@@ -543,8 +975,8 @@ func (e *Engine) DistancesFrom(src int, dist []int) {
 	if src < 0 || src >= e.n || e.faults.Has(src) {
 		return
 	}
-	words := e.words
-	visited, cur, next := e.visited, e.cur, e.next
+	s := e.bfs
+	visited, cur, next := s.visited, s.cur, s.next
 	for i := range visited {
 		visited[i] = 0
 		cur[i] = 0
@@ -553,21 +985,7 @@ func (e *Engine) DistancesFrom(src int, dist []int) {
 	cur[src>>6] = visited[src>>6]
 	dist[src] = 0
 	for level := 1; ; level++ {
-		for i := range next {
-			next[i] = 0
-		}
-		for wi := 0; wi < words; wi++ {
-			w := cur[wi]
-			base := wi << 6
-			for w != 0 {
-				u := base | bits.TrailingZeros64(w)
-				w &= w - 1
-				row := e.adj[u*words : (u+1)*words]
-				for i, rw := range row {
-					next[i] |= rw
-				}
-			}
-		}
+		e.expandFrontier(e.adj, cur, next, s)
 		fresh := 0
 		for i := range next {
 			nw := next[i] &^ visited[i]

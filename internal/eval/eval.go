@@ -94,6 +94,17 @@ type Config struct {
 	// fails (or the group is trivial or too large) the search silently
 	// falls back to the plain enumeration. See docs/symmetry.md.
 	Pruned bool
+	// Bounded enables, in Exhaustive mode (plain and Pruned, serial and
+	// parallel, node and mixed universes), branch-and-bound evaluation:
+	// a best-so-far diameter is threaded through the enumeration (shared
+	// atomically across workers) and each fault set runs the pivot-pruned
+	// diameterAbove kernel, abandoning sets that cannot beat the
+	// incumbent after ~2 BFS instead of computing the full diameter.
+	// Results — scores, taxonomy, Evaluated, and the first-max witness —
+	// are bit-identical to the plain search. Survivors that cannot
+	// enumerate their routes, and Sampled mode (no enumeration tree to
+	// prune), ignore the flag. See docs/perf.md.
+	Bounded bool
 	// SkippedWeight is the λ of the mixed packet-level adversary
 	// (WorstMixedFaults): fault sets are ranked by the score
 	// disrupted + λ·skipped instead of disrupted pairs alone, letting
@@ -125,8 +136,16 @@ func MaxDiameter(s Survivor, f int, cfg Config) Result {
 	switch cfg.Mode {
 	case Exhaustive:
 		if cfg.Pruned {
-			if res, ok := exhaustivePruned(s, f, 1); ok {
+			if res, ok := exhaustivePruned(s, f, 1, cfg.Bounded); ok {
 				return res
+			}
+		}
+		if cfg.Bounded {
+			if eng := engineFor(s); eng != nil {
+				if f < 0 {
+					f = 0
+				}
+				return eng.exhaustiveBounded(f)
 			}
 		}
 		return exhaustive(s, f)
@@ -427,6 +446,8 @@ func Profile(s Survivor, f int, cfg Config) []int {
 	for k := 0; k <= f; k++ {
 		var res Result
 		switch {
+		case cfg.Mode == Exhaustive && eng != nil && cfg.Bounded:
+			res = eng.exhaustiveExactBounded(k)
 		case cfg.Mode == Exhaustive && eng != nil:
 			res = eng.exhaustiveExact(k)
 		case cfg.Mode == Exhaustive:

@@ -125,8 +125,16 @@ func MaxDiameterMixed(s MixedSurvivor, f int, cfg Config) MixedResult {
 	switch cfg.Mode {
 	case Exhaustive:
 		if cfg.Pruned {
-			if res, ok := exhaustiveMixedPruned(s, f, 1); ok {
+			if res, ok := exhaustiveMixedPruned(s, f, 1, cfg.Bounded); ok {
 				return res
+			}
+		}
+		if cfg.Bounded {
+			if eng := engineFor(s); eng != nil {
+				if f < 0 {
+					f = 0
+				}
+				return eng.exhaustiveMixedBounded(f, s.Graph().Edges())
 			}
 		}
 		return exhaustiveMixed(s, f)
@@ -429,6 +437,8 @@ func ProfileMixed(s MixedSurvivor, f int, cfg Config) []int {
 	for k := 0; k <= f; k++ {
 		var res MixedResult
 		switch {
+		case cfg.Mode == Exhaustive && eng != nil && cfg.Bounded:
+			res = eng.exhaustiveExactMixedBounded(k, edges)
 		case cfg.Mode == Exhaustive && eng != nil:
 			res = eng.exhaustiveExactMixed(k, edges)
 		case cfg.Mode == Exhaustive:

@@ -37,11 +37,14 @@ func MaxDiameterParallel(s Survivor, f int, cfg Config, workers int) Result {
 		return MaxDiameter(s, f, cfg)
 	}
 	if cfg.Pruned {
-		if res, ok := exhaustivePruned(s, f, workers); ok {
+		if res, ok := exhaustivePruned(s, f, workers, cfg.Bounded); ok {
 			return res
 		}
 	}
 	if eng != nil {
+		if cfg.Bounded {
+			return eng.exhaustiveBoundedParallel(f, workers)
+		}
 		return eng.exhaustiveParallel(f, workers)
 	}
 	return legacyExhaustiveParallel(s, f, workers)
@@ -174,6 +177,15 @@ func (e *Engine) sampledParallel(f int, cfg Config, workers int) Result {
 // in node order with the sequential tie-breaking, so the grown fault
 // set (and hence the result) matches the serial adversary exactly.
 // The engine must start fault-free; it ends holding the grown set.
+//
+// Probes are branch-and-bound: an atomic per-round incumbent lets a
+// losing candidate stop after the diameterAbove pivot BFS (threshold
+// incumbent−1 keeps ties exact, so the winning candidate — the lowest
+// item achieving the round maximum — is always measured exactly), and
+// an atomic lowest-disconnecting-item index skips probes that a
+// smaller disconnecting candidate already beats. Neither shortcut can
+// change the round winner, so the grown set matches the serial
+// adversary bit for bit.
 func (e *Engine) greedyParallel(f int, res *Result, workers int) {
 	type verdict struct {
 		diam     int
@@ -191,7 +203,8 @@ func (e *Engine) greedyParallel(f int, res *Result, workers int) {
 		for i := range verdicts {
 			verdicts[i] = verdict{}
 		}
-		var nextCand atomic.Int64
+		var nextCand, roundBest, minDisc atomic.Int64
+		minDisc.Store(int64(n))
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
@@ -206,6 +219,12 @@ func (e *Engine) greedyParallel(f int, res *Result, workers int) {
 					if e.HasFault(v) {
 						continue
 					}
+					if minDisc.Load() < int64(v) {
+						// A smaller disconnecting candidate already wins
+						// this round; leave v unmeasured (the reduction
+						// still counts it as evaluated).
+						continue
+					}
 					if c == nil {
 						if clones[w] == nil {
 							clones[w] = e.Clone()
@@ -214,8 +233,20 @@ func (e *Engine) greedyParallel(f int, res *Result, workers int) {
 					}
 					c.AddFault(v)
 					if c.AliveCount() > 1 {
-						diam, ok := c.Diameter()
-						verdicts[v] = verdict{diam: diam, disc: !ok, measured: true}
+						limit := int(roundBest.Load()) - 1
+						diam, above, connected := c.diameterAbove(limit)
+						switch {
+						case !connected:
+							verdicts[v] = verdict{disc: true, measured: true}
+							casMin(&minDisc, int64(v))
+						case above:
+							verdicts[v] = verdict{diam: diam, measured: true}
+							casMax(&roundBest, int64(diam))
+						default:
+							// Strictly below an exactly-measured rival;
+							// diam −1 can never win the reduction.
+							verdicts[v] = verdict{diam: -1, measured: true}
+						}
 					}
 					c.RemoveFault(v)
 				}
@@ -289,9 +320,12 @@ func MaxDiameterMixedParallel(s MixedSurvivor, f int, cfg Config, workers int) M
 		return eng.sampledMixedParallel(s, f, cfg, workers, edges)
 	}
 	if cfg.Pruned {
-		if res, ok := exhaustiveMixedPruned(s, f, workers); ok {
+		if res, ok := exhaustiveMixedPruned(s, f, workers, cfg.Bounded); ok {
 			return res
 		}
+	}
+	if cfg.Bounded {
+		return eng.exhaustiveMixedBoundedParallel(f, workers, edges)
 	}
 	return eng.exhaustiveMixedParallel(f, workers, edges)
 }
@@ -438,13 +472,17 @@ func (e *Engine) greedyMixedParallel(f int, edges [][2]int, res *MixedResult, wo
 	verdicts := make([]verdict, items)
 	// Per-worker clones are created lazily and kept in sync with e
 	// across rounds, exactly as in greedyParallel; `chosen` is only
-	// mutated between rounds, so workers may read it freely.
+	// mutated between rounds, so workers may read it freely. Probes are
+	// branch-and-bound with the same per-round incumbent and lowest-
+	// disconnecting-item shortcuts as greedyParallel, with the same
+	// bit-identical reduction.
 	clones := make([]*Engine, workers)
 	for round := 0; round < f; round++ {
 		for i := range verdicts {
 			verdicts[i] = verdict{}
 		}
-		var nextCand atomic.Int64
+		var nextCand, roundBest, minDisc atomic.Int64
+		minDisc.Store(int64(items))
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
@@ -459,6 +497,9 @@ func (e *Engine) greedyMixedParallel(f int, edges [][2]int, res *MixedResult, wo
 					if chosen.Has(v) {
 						continue
 					}
+					if minDisc.Load() < int64(v) {
+						continue
+					}
 					if c == nil {
 						if clones[w] == nil {
 							clones[w] = e.Clone()
@@ -467,8 +508,18 @@ func (e *Engine) greedyMixedParallel(f int, edges [][2]int, res *MixedResult, wo
 					}
 					c.toggleItem(v, edges, true)
 					if c.AliveCount() > 1 {
-						diam, ok := c.Diameter()
-						verdicts[v] = verdict{diam: diam, disc: !ok, measured: true}
+						limit := int(roundBest.Load()) - 1
+						diam, above, connected := c.diameterAbove(limit)
+						switch {
+						case !connected:
+							verdicts[v] = verdict{disc: true, measured: true}
+							casMin(&minDisc, int64(v))
+						case above:
+							verdicts[v] = verdict{diam: diam, measured: true}
+							casMax(&roundBest, int64(diam))
+						default:
+							verdicts[v] = verdict{diam: -1, measured: true}
+						}
 					}
 					c.toggleItem(v, edges, false)
 				}

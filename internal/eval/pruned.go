@@ -42,11 +42,28 @@ type prunedReps struct {
 // it to the elements keep accepts. It returns nil when pruning cannot
 // help: trivial group, more than prunedElementCap elements, or no
 // nontrivial respecting element.
+//
+// Fast path: the respecting elements form a subgroup (equivariance is
+// closed under composition and inverse), so when every generator
+// respects the evaluated object the whole generated group does — one
+// keep check per generator replaces one full route scan per group
+// element, removing the fixed cost that used to push small universes
+// onto the plain path.
 func respectingElems(g *graph.Graph, keep func(p []int) bool) [][]int {
 	gr := sym.Automorphisms(g)
 	elems := sym.Elements(gr.N, gr.Gens, prunedElementCap)
 	if len(elems) <= 1 {
 		return nil
+	}
+	gensOK := true
+	for _, p := range gr.Gens {
+		if !keep(p) {
+			gensOK = false
+			break
+		}
+	}
+	if gensOK {
+		return elems
 	}
 	elems = sym.Respecting(elems, keep)
 	if len(elems) <= 1 {
@@ -178,7 +195,8 @@ func applyDiff(cur, next []int, toggle func(v int, add bool)) []int {
 // exhaustivePruned runs the exhaustive node-fault search over one
 // canonical representative per orbit. ok is false when pruning is
 // unavailable; callers then fall back to the plain enumeration.
-func exhaustivePruned(s Survivor, f, workers int) (Result, bool) {
+// bounded selects the branch-and-bound representative walk.
+func exhaustivePruned(s Survivor, f, workers int, bounded bool) (Result, bool) {
 	if f < 0 {
 		f = 0
 	}
@@ -188,16 +206,21 @@ func exhaustivePruned(s Survivor, f, workers int) (Result, bool) {
 	}
 	eng := engineFor(s) // non-nil: nodeReps required RouteSource
 	res := Result{WorstFaults: graph.NewBitset(eng.N())}
-	if workers > 1 {
+	switch {
+	case workers > 1 && bounded:
+		eng.evalPrunedBoundedParallel(plan, workers, &res)
+	case workers > 1:
 		eng.evalPrunedParallel(plan, workers, &res)
-	} else {
+	case bounded:
+		eng.evalPrunedBounded(plan, &res)
+	default:
 		eng.evalPruned(plan, &res)
 	}
 	return res, true
 }
 
 // exhaustiveMixedPruned is exhaustivePruned over the mixed universe.
-func exhaustiveMixedPruned(s MixedSurvivor, f, workers int) (MixedResult, bool) {
+func exhaustiveMixedPruned(s MixedSurvivor, f, workers int, bounded bool) (MixedResult, bool) {
 	if f < 0 {
 		f = 0
 	}
@@ -208,9 +231,14 @@ func exhaustiveMixedPruned(s MixedSurvivor, f, workers int) (MixedResult, bool) 
 	eng := engineFor(s)
 	edges := s.Graph().Edges()
 	res := MixedResult{WorstNodeFaults: graph.NewBitset(eng.N())}
-	if workers > 1 {
+	switch {
+	case workers > 1 && bounded:
+		eng.evalPrunedMixedBoundedParallel(plan, edges, workers, &res)
+	case workers > 1:
 		eng.evalPrunedMixedParallel(plan, edges, workers, &res)
-	} else {
+	case bounded:
+		eng.evalPrunedMixedBounded(plan, edges, &res)
+	default:
 		eng.evalPrunedMixed(plan, edges, &res)
 	}
 	return res, true

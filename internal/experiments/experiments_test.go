@@ -7,10 +7,10 @@ import (
 
 func TestIDsOrdered(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 20 {
-		t.Fatalf("registered %d experiments, want 20: %v", len(ids), ids)
+	if len(ids) != 21 {
+		t.Fatalf("registered %d experiments, want 21: %v", len(ids), ids)
 	}
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21"}
 	for i := range want {
 		if ids[i] != want[i] {
 			t.Fatalf("ids = %v", ids)
